@@ -1,0 +1,30 @@
+"""Benchmark configuration.
+
+Every benchmark reproduces one figure of the paper's evaluation on the
+BENCH workload (see ``repro.experiments.configs``), prints the resulting
+table — the same rows/series the paper's figure reports — and asserts
+the figure's qualitative shape.  ``pytest-benchmark`` timings measure
+the end-to-end harness cost.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def print_table(table):
+    """Print a figure table, visibly separated in benchmark output."""
+    print()
+    print(str(table))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_bench_world():
+    """Build the shared BENCH world once so timings exclude setup."""
+    from repro.experiments import BENCH, build_world
+
+    world = build_world(BENCH)
+    world.ground_truth()
+    return world

@@ -1,0 +1,46 @@
+"""Ablation A8: the server's per-cell alarm cache.
+
+The safe-region hot path starts with "which alarms overlap this grid
+cell?".  The registry answers with an R*-tree range query; the cache
+memoizes each cell's list (grid cells repeat across subscribers) and
+serves relevance filtering from it.  Identical simulation results,
+fewer index node accesses.
+"""
+
+from repro.engine import run_simulation
+from repro.experiments import (BENCH, Table, build_world,
+                               make_mwpsr_strategy)
+
+from .conftest import print_table
+
+
+def _sweep():
+    world = build_world(BENCH.with_public_fraction(0.20))
+    off = run_simulation(world, make_mwpsr_strategy(z=32),
+                         use_cell_cache=False)
+    on = run_simulation(world, make_mwpsr_strategy(z=32),
+                        use_cell_cache=True)
+    return off, on
+
+
+def test_ablation_cell_cache(benchmark):
+    off, on = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table("Ablation: per-cell alarm cache (20% public alarms)",
+                  ["variant", "index node accesses", "safe-region time (s)",
+                   "uplink msgs", "accuracy"])
+    table.add_row("cache off", off.metrics.index_node_accesses,
+                  off.metrics.saferegion_time_s,
+                  off.metrics.uplink_messages, off.accuracy.recall)
+    table.add_row("cache on", on.metrics.index_node_accesses,
+                  on.metrics.saferegion_time_s,
+                  on.metrics.uplink_messages, on.accuracy.recall)
+    print_table(table)
+
+    assert off.accuracy.perfect and on.accuracy.perfect
+    # identical protocol behaviour (same messages, same triggers)
+    assert on.metrics.uplink_messages == off.metrics.uplink_messages
+    assert on.metrics.fired_pairs() == off.metrics.fired_pairs()
+    # and materially less index work
+    assert on.metrics.index_node_accesses < \
+        off.metrics.index_node_accesses * 0.8

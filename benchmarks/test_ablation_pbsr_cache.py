@@ -1,0 +1,47 @@
+"""Ablation A4: shared-public safe-region cache in PBSR (DESIGN.md #4).
+
+Section 4.2 of the paper: "PBSR approach can be optimized by
+precomputing the bitmap at each level for public alarms."  Our computer
+shares the safe region of a base cell across users whose pending public
+alarms there coincide and who hold no personal alarms in the cell (the
+common case).  This ablation measures the cache's effect on server
+safe-region computation time.
+"""
+
+from repro.engine import run_simulation
+from repro.experiments import BENCH, Table, build_world
+from repro.saferegion import PBSRComputer
+from repro.strategies import BitmapSafeRegionStrategy
+
+from .conftest import print_table
+
+
+def _sweep():
+    world = build_world(BENCH.with_public_fraction(0.20))
+    results = []
+    for name, share in (("cache off", False), ("cache on", True)):
+        computer = PBSRComputer(height=5, share_public=share)
+        strategy = BitmapSafeRegionStrategy(computer, name=name)
+        results.append((name, computer, run_simulation(world, strategy)))
+    return results
+
+
+def test_ablation_pbsr_cache(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table("Ablation: PBSR shared-public cache (20% public alarms)",
+                  ["variant", "safe-region time (s)", "cache hits",
+                   "cache misses", "uplink msgs", "accuracy"])
+    for name, computer, result in results:
+        table.add_row(name, result.metrics.saferegion_time_s,
+                      computer.cache_hits, computer.cache_misses,
+                      result.metrics.uplink_messages,
+                      result.accuracy.recall)
+    print_table(table)
+
+    (_, _, off), (_, on_computer, on) = results
+    assert off.accuracy.perfect and on.accuracy.perfect
+    # identical protocol behaviour, cheaper computation
+    assert on.metrics.uplink_messages == off.metrics.uplink_messages
+    assert on_computer.cache_hits > 0
+    assert on.metrics.saferegion_time_s < off.metrics.saferegion_time_s

@@ -1,0 +1,33 @@
+"""E9 / Fig. 1(b): the steady-motion probability density.
+
+Regenerates the pdf series for y=1, z in {2, 4, 8} and checks the
+curve's paper-stated properties: symmetric, plateau of width pi/z,
+monotone decreasing in |phi|, peak 1.5/(2*pi), unit total mass.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import figure1b
+from repro.mobility import SteadyMotionModel
+
+from .conftest import print_table
+
+
+def test_fig1b_motion_pdf(benchmark):
+    table = benchmark(figure1b, zs=(2, 4, 8), steps=12)
+    print_table(table)
+
+    for z in (2, 4, 8):
+        model = SteadyMotionModel(1.0, z)
+        assert model.total_mass() == pytest.approx(1.0)
+        assert model.pdf(0.0) == pytest.approx(1.5 / (2 * math.pi))
+        # plateau: constant on [0, pi/z]
+        assert model.pdf(0.0) == pytest.approx(model.pdf(math.pi / z * 0.99))
+        # decreasing beyond
+        assert model.pdf(math.pi) < model.pdf(0.0)
+
+    # the table is symmetric around phi = 0
+    values = [row[1:] for row in table.rows]
+    assert values == values[::-1]

@@ -1,0 +1,38 @@
+"""E3 / Fig. 5(a): client-to-server messages vs pyramid height.
+
+Sweeps the pyramid height h = 1 (GBSR) .. 7 for 1%, 10% and 20% public
+alarms on the BENCH workload.
+
+Shape checks (the paper's claims):
+* GBSR (h=1) is "highly inefficient" — it sends the most messages by a
+  wide margin;
+* message counts drop sharply as the height grows;
+* the BSR approaches are highly sensitive to alarm density — every
+  height sends more messages at higher public-alarm percentages.
+"""
+
+from repro.experiments import BENCH, figure5a
+
+from .conftest import print_table
+
+HEIGHTS = (1, 2, 3, 4, 5, 6, 7)
+PUBLICS = (0.01, 0.10, 0.20)
+
+
+def test_fig5a_bsr_messages(benchmark):
+    table = benchmark.pedantic(figure5a, args=(BENCH, HEIGHTS, PUBLICS),
+                               rounds=1, iterations=1)
+    print_table(table)
+
+    for column_index in range(1, 1 + len(PUBLICS)):
+        series = [int(row[column_index]) for row in table.rows]
+        # GBSR is the worst by a wide margin and the drop is sharp
+        assert series[0] > 3 * series[-1]
+        # monotone non-increasing over the height sweep
+        assert all(a >= b for a, b in zip(series, series[1:]))
+
+    # density sensitivity: at every height, more public alarms -> more
+    # messages
+    for row in table.rows:
+        one, ten, twenty = int(row[1]), int(row[2]), int(row[3])
+        assert one <= ten <= twenty

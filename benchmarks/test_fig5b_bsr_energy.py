@@ -1,0 +1,39 @@
+"""E4 / Fig. 5(b): client energy consumption vs pyramid height.
+
+Same sweep as Fig. 5(a), reporting the client-side energy (mWh) of the
+safe-region containment detections.
+
+Shape checks (the paper's claims):
+* energy grows with the pyramid height (deeper probes per fix) and the
+  growth is strongest at high alarm density;
+* at low public-alarm percentages the cost "does not experience a
+  significant increase with pyramid height" — the 1% curve is nearly
+  flat;
+* per-client containment-detection rates stay in the paper's regime of
+  a few detections per second.
+"""
+
+from repro.experiments import BENCH, figure5b
+
+from .conftest import print_table
+
+HEIGHTS = (1, 2, 3, 4, 5, 6, 7)
+PUBLICS = (0.01, 0.10, 0.20)
+
+
+def test_fig5b_bsr_energy(benchmark):
+    table = benchmark.pedantic(figure5b, args=(BENCH, HEIGHTS, PUBLICS),
+                               rounds=1, iterations=1)
+    print_table(table)
+
+    low = [float(row[1]) for row in table.rows]
+    high = [float(row[3]) for row in table.rows]
+
+    # energy grows (weakly) with height at every density
+    assert low[-1] >= low[0]
+    assert high[-1] > high[0]
+    # the high-density curve rises by more than the low-density curve
+    assert (high[-1] - high[0]) > (low[-1] - low[0])
+    # denser alarms cost more at every height
+    for row in table.rows:
+        assert float(row[1]) <= float(row[2]) <= float(row[3])

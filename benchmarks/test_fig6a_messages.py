@@ -1,0 +1,36 @@
+"""E5 / Fig. 6(a): client-to-server messages across all approaches.
+
+Compares MWPSR (y=1, z=32), PBSR (h=5), safe-period (SP) and the
+optimal bound (OPT) at 1%, 10% and 20% public alarms; periodic (PRD) is
+reported in the last column — in the paper it is off-chart at ~60M
+messages (every location fix).
+
+Shape checks (the paper's claims):
+* the safe-region approaches transmit few messages; SP costs a small
+  multiple of them ("approximately 2-3 times the cost incurred by the
+  safe region approaches");
+* OPT transmits the fewest messages of all;
+* PRD transmits every fix.
+"""
+
+from repro.experiments import BENCH, build_world, figure6a
+
+from .conftest import print_table
+
+PUBLICS = (0.01, 0.10, 0.20)
+
+
+def test_fig6a_messages(benchmark):
+    table = benchmark.pedantic(figure6a, args=(BENCH, PUBLICS),
+                               rounds=1, iterations=1)
+    print_table(table)
+
+    total_fixes = build_world(BENCH).traces.total_samples
+    for row in table.rows:
+        mwpsr, pbsr, sp, opt, prd = (int(v) for v in row[1:])
+        assert prd == total_fixes
+        assert opt <= pbsr
+        assert opt < mwpsr < sp < prd
+        # SP costs a small multiple of the best safe-region approach
+        best_safe_region = min(mwpsr, pbsr)
+        assert 1.5 < sp / best_safe_region < 25

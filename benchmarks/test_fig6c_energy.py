@@ -1,0 +1,33 @@
+"""E7 / Fig. 6(c): client energy consumption across approaches.
+
+Compares the client energy of MWPSR, PBSR (h=5) and OPT at 1%, 10% and
+20% public alarms.
+
+Shape checks (the paper's claims):
+* "client energy consumption for the optimal approach is significantly
+  higher than the safe region approaches" — OPT clients evaluate the
+  full alarm list on every fix;
+* "PBSR and MWPSR approaches lead to lower client energy consumption
+  especially at higher alarm density levels" — the OPT gap widens with
+  the public-alarm percentage.
+"""
+
+from repro.experiments import BENCH, figure6c
+
+from .conftest import print_table
+
+PUBLICS = (0.01, 0.10, 0.20)
+
+
+def test_fig6c_energy(benchmark):
+    table = benchmark.pedantic(figure6c, args=(BENCH, PUBLICS),
+                               rounds=1, iterations=1)
+    print_table(table)
+
+    gaps = []
+    for row in table.rows:
+        mwpsr, pbsr, opt = (float(v) for v in row[1:])
+        assert opt > pbsr > mwpsr
+        gaps.append(opt - max(mwpsr, pbsr))
+    # the OPT penalty grows with alarm density
+    assert gaps[-1] > gaps[0]

@@ -1,0 +1,32 @@
+"""Proposition 3: pyramid height trades coverage against bitmap size.
+
+"The height of the pyramid h allows us to control the accuracy of
+representation of the safe region at the cost of computing a larger
+bitmap for more accurate representations."  The paper states the
+trade-off without plotting it; this benchmark produces the curve on the
+BENCH workload and asserts both monotonicities.
+"""
+
+from repro.experiments import BENCH, build_world, coverage_size_tradeoff
+
+from .conftest import print_table
+
+HEIGHTS = (1, 2, 3, 4, 5, 6, 7)
+
+
+def test_prop3_coverage_tradeoff(benchmark):
+    world = build_world(BENCH)
+    table = benchmark.pedantic(coverage_size_tradeoff,
+                               args=(world, HEIGHTS),
+                               kwargs=dict(sample_count=80),
+                               rounds=1, iterations=1)
+    print_table(table)
+
+    coverages = [float(row[1]) for row in table.rows]
+    bits = [float(row[2]) for row in table.rows]
+    # more height -> more coverage (never less), strictly more bits
+    assert all(b >= a - 1e-12 for a, b in zip(coverages, coverages[1:]))
+    assert coverages[-1] > coverages[0]
+    assert all(b >= a for a, b in zip(bits, bits[1:]))
+    # deep pyramids recover nearly the whole cell on this workload
+    assert coverages[-1] > 0.95

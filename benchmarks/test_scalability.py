@@ -1,0 +1,46 @@
+"""Scalability: the motivating claim — server load vs client population.
+
+Not a figure of the paper, but its Section 1 argument quantified: the
+periodic server's cost scales with every location fix while the
+safe-region approaches scale with safe-region exits, so the gap widens
+as the population grows.
+"""
+
+from repro.experiments import BENCH, scalability_sweep, scalability_table
+
+from .conftest import print_table
+
+POPULATIONS = (30, 60, 120)
+
+
+def test_scalability(benchmark):
+    results = benchmark.pedantic(scalability_sweep,
+                                 args=(BENCH, POPULATIONS),
+                                 rounds=1, iterations=1)
+    print_table(scalability_table(results))
+
+    # every run is accurate
+    for per_strategy in results.values():
+        for result in per_strategy.values():
+            assert result.accuracy.perfect
+
+    # the periodic-vs-safe-region message gap widens with population
+    def message_gap(population):
+        per = results[population]
+        safe_region = min(per["MWPSR(y=1,z=32)"].metrics.uplink_messages,
+                          per["PBSR(h=5)"].metrics.uplink_messages)
+        return per["PRD"].metrics.uplink_messages - safe_region
+
+    gaps = [message_gap(p) for p in POPULATIONS]
+    assert gaps == sorted(gaps)
+    assert gaps[-1] > gaps[0] * 2
+
+    # PRD message volume is exactly linear in fixes; the safe-region
+    # approaches grow sublinearly in comparison
+    small, large = POPULATIONS[0], POPULATIONS[-1]
+    prd_growth = (results[large]["PRD"].metrics.uplink_messages
+                  / results[small]["PRD"].metrics.uplink_messages)
+    mwpsr_growth = (results[large]["MWPSR(y=1,z=32)"].metrics.uplink_messages
+                    / max(1, results[small][
+                        "MWPSR(y=1,z=32)"].metrics.uplink_messages))
+    assert mwpsr_growth <= prd_growth * 1.2

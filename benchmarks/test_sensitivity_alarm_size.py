@@ -1,0 +1,61 @@
+"""Sensitivity: alarm-region size (an unspecified paper parameter).
+
+The paper never states its alarm-region dimensions; DESIGN.md decision
+#6 picks 50-250 m squares and argues the paper's bitmap-size results
+require that regime.  This benchmark grounds the decision: it sweeps
+the alarm size and shows (i) every approach's message volume grows with
+alarm footprint (safe regions shrink), and (ii) PBSR's bitmap bandwidth
+grows superlinearly — large alarms expand into deep all-zero pyramid
+subtrees under the paper's full-split encoding — while the rectangular
+downlink stays constant-size.
+"""
+
+from dataclasses import replace
+
+from repro.engine import run_simulation
+from repro.experiments import (BENCH, Table, build_world,
+                               make_mwpsr_strategy, make_pbsr_strategy)
+
+from .conftest import print_table
+
+SIZE_RANGES = ((50.0, 150.0), (50.0, 250.0), (150.0, 600.0))
+
+
+def _sweep():
+    rows = []
+    for lo, hi in SIZE_RANGES:
+        config = replace(BENCH, alarm_min_side_m=lo, alarm_max_side_m=hi)
+        world = build_world(config)
+        mwpsr = run_simulation(world, make_mwpsr_strategy(z=32))
+        pbsr = run_simulation(world, make_pbsr_strategy(5))
+        rows.append((lo, hi, mwpsr, pbsr))
+    return rows
+
+
+def test_sensitivity_alarm_size(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    table = Table("Sensitivity: alarm-region size",
+                  ["alarm side (m)", "MWPSR msgs", "PBSR msgs",
+                   "MWPSR down-KB", "PBSR down-KB"])
+    for lo, hi, mwpsr, pbsr in rows:
+        table.add_row("%.0f-%.0f" % (lo, hi),
+                      mwpsr.metrics.uplink_messages,
+                      pbsr.metrics.uplink_messages,
+                      mwpsr.metrics.downlink_bytes / 1024.0,
+                      pbsr.metrics.downlink_bytes / 1024.0)
+    print_table(table)
+
+    for _, _, mwpsr, pbsr in rows:
+        assert mwpsr.accuracy.perfect and pbsr.accuracy.perfect
+    # messages grow with alarm footprint for both approaches
+    mwpsr_msgs = [mwpsr.metrics.uplink_messages for _, _, mwpsr, _ in rows]
+    pbsr_msgs = [pbsr.metrics.uplink_messages for _, _, _, pbsr in rows]
+    assert mwpsr_msgs == sorted(mwpsr_msgs)
+    assert pbsr_msgs == sorted(pbsr_msgs)
+    # PBSR's downstream bytes grow much faster than MWPSR's
+    mwpsr_growth = (rows[-1][2].metrics.downlink_bytes
+                    / max(1, rows[0][2].metrics.downlink_bytes))
+    pbsr_growth = (rows[-1][3].metrics.downlink_bytes
+                   / max(1, rows[0][3].metrics.downlink_bytes))
+    assert pbsr_growth > mwpsr_growth * 2

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Dataset workflow: generate once, persist, replay anywhere.
+
+A reproducible evaluation separates dataset generation from
+experimentation: the map, the vehicle traces and the alarm workload are
+generated (or imported from real data) once, written to versioned files,
+and every later experiment replays those exact bytes.  This example
+builds a small city dataset, round-trips it through the on-disk formats,
+and proves the replay is bit-identical by comparing ground truths.
+
+Run:  python examples/dataset_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (AlarmRegistry, GridOverlay, MobilityConfig, NetworkConfig,
+                   TraceGenerator, World, compute_ground_truth,
+                   generate_network, install_random_alarms, run_simulation)
+from repro.alarms import load_alarms, save_alarms
+from repro.experiments import make_pbsr_strategy
+from repro.mobility import load_traces, save_traces
+from repro.roadnet import load_network, save_network
+
+workdir = Path(tempfile.mkdtemp(prefix="repro-dataset-"))
+print("dataset directory: %s\n" % workdir)
+
+# ----------------------------------------------------------------------
+# 1. Generate the dataset.
+# ----------------------------------------------------------------------
+map_config = NetworkConfig(universe_side_m=5000.0, lattice_spacing_m=400.0)
+network = generate_network(map_config, seed=100)
+traces = TraceGenerator(network,
+                        MobilityConfig(vehicle_count=12, duration_s=300.0),
+                        seed=101).generate()
+registry = AlarmRegistry()
+install_random_alarms(registry, map_config.universe, 300,
+                      traces.vehicle_ids(), public_fraction=0.25,
+                      min_side_m=80, max_side_m=300, seed=102)
+
+# ----------------------------------------------------------------------
+# 2. Persist everything (gzip-compressed where it counts).
+# ----------------------------------------------------------------------
+save_network(network, workdir / "city.roadnet")
+save_traces(traces, workdir / "traces.csv.gz")
+save_alarms(registry, workdir / "alarms.jsonl")
+for path in sorted(workdir.iterdir()):
+    print("wrote %-16s %8d bytes" % (path.name, path.stat().st_size))
+
+# ----------------------------------------------------------------------
+# 3. Replay from disk — as a collaborator on another machine would.
+# ----------------------------------------------------------------------
+reloaded_network = load_network(workdir / "city.roadnet")
+reloaded_traces = load_traces(workdir / "traces.csv.gz")
+reloaded_registry = load_alarms(workdir / "alarms.jsonl")
+
+assert reloaded_network.edge_count == network.edge_count
+assert reloaded_traces.total_samples == traces.total_samples
+assert len(reloaded_registry) == len(registry)
+
+original_truth = compute_ground_truth(registry, traces)
+replayed_truth = compute_ground_truth(reloaded_registry, reloaded_traces)
+assert replayed_truth == original_truth
+print("\nground truth after reload: %d triggers — identical to the "
+      "original." % len(replayed_truth))
+
+# ----------------------------------------------------------------------
+# 4. Run an experiment on the reloaded dataset.
+# ----------------------------------------------------------------------
+world = World(universe=map_config.universe,
+              grid=GridOverlay(map_config.universe, cell_area_km2=2.5),
+              registry=reloaded_registry, traces=reloaded_traces)
+result = run_simulation(world, make_pbsr_strategy(4))
+print("PBSR(h=4) on the reloaded dataset: %d uplinks for %d fixes, "
+      "%d/%d triggers on time."
+      % (result.metrics.uplink_messages, result.total_samples,
+         result.accuracy.delivered, result.accuracy.expected))
+assert result.accuracy.perfect

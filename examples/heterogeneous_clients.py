@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Heterogeneous clients: one fleet, per-device safe-region techniques.
+
+A core selling point of the paper's PBSR design is device heterogeneity:
+"each client may specify the maximum height of the pyramid used by the
+PBSR approach for computing its safe region."  This example runs a
+single simulation in which every device class gets its own technique —
+
+* budget phones    -> rectangular MWPSR regions (one comparison per fix);
+* mid-range phones -> PBSR with a short pyramid (h=2);
+* flagship phones  -> PBSR with a tall pyramid (h=6);
+
+— by composing the library's strategies into a per-client dispatcher,
+and then reports messages and energy per device class.  It also shows
+how to extend :class:`ProcessingStrategy` without touching the engine.
+
+Run:  python examples/heterogeneous_clients.py
+"""
+
+from collections import defaultdict
+
+from repro import (AlarmRegistry, AlarmScope, GridOverlay, MWPSRComputer,
+                   MobilityConfig, NetworkConfig, PBSRComputer, Point, Rect,
+                   RectangularSafeRegionStrategy, BitmapSafeRegionStrategy,
+                   SteadyMotionModel, TraceGenerator, World, generate_network,
+                   run_simulation)
+from repro.strategies import ProcessingStrategy
+
+
+class PerClientStrategy(ProcessingStrategy):
+    """Dispatches every client to the strategy its device class uses."""
+
+    name = "per-device"
+
+    def __init__(self, assign, strategies):
+        self.assign = assign          # user_id -> class name
+        self.strategies = strategies  # class name -> strategy
+
+    def attach(self, server):
+        super().attach(server)
+        for strategy in self.strategies.values():
+            strategy.attach(server)
+
+    def on_sample(self, client, sample):
+        self.strategies[self.assign(client.user_id)].on_sample(client,
+                                                               sample)
+
+
+# ----------------------------------------------------------------------
+# World: a mid-sized town, 24 vehicles, alarms of every scope.
+# ----------------------------------------------------------------------
+map_config = NetworkConfig(universe_side_m=6000.0, lattice_spacing_m=500.0)
+network = generate_network(map_config, seed=12)
+traces = TraceGenerator(network,
+                        MobilityConfig(vehicle_count=24, duration_s=600.0),
+                        seed=13).generate()
+registry = AlarmRegistry()
+for index in range(60):
+    node = (index * 53) % network.node_count
+    center = network.position(node)
+    center = Point(min(max(center.x, 150.0), 5850.0),
+                   min(max(center.y, 150.0), 5850.0))
+    scope = AlarmScope.PUBLIC if index % 3 == 0 else AlarmScope.PRIVATE
+    registry.install(Rect.from_center(center, 240.0, 240.0), scope,
+                     owner_id=index % len(traces))
+world = World(universe=map_config.universe,
+              grid=GridOverlay(map_config.universe, cell_area_km2=2.5),
+              registry=registry, traces=traces)
+
+# ----------------------------------------------------------------------
+# Device classes and their techniques.
+# ----------------------------------------------------------------------
+CLASSES = ("budget", "mid-range", "flagship")
+
+
+def device_class(user_id):
+    return CLASSES[user_id % 3]
+
+
+strategy = PerClientStrategy(device_class, {
+    "budget": RectangularSafeRegionStrategy(
+        MWPSRComputer(SteadyMotionModel(1, 8)), name="MWPSR"),
+    "mid-range": BitmapSafeRegionStrategy(PBSRComputer(height=2),
+                                          name="PBSR(h=2)"),
+    "flagship": BitmapSafeRegionStrategy(PBSRComputer(height=6),
+                                         name="PBSR(h=6)"),
+})
+
+# Wrap the metrics-charging helpers to split counters per device class.
+per_class = defaultdict(lambda: {"uplinks": 0, "ops": 0, "fixes": 0})
+original_on_sample = strategy.on_sample
+
+
+def counting_on_sample(client, sample):
+    bucket = per_class[device_class(client.user_id)]
+    before_up = strategy.server.metrics.uplink_messages
+    before_ops = strategy.server.metrics.containment_ops
+    original_on_sample(client, sample)
+    bucket["fixes"] += 1
+    bucket["uplinks"] += strategy.server.metrics.uplink_messages - before_up
+    bucket["ops"] += strategy.server.metrics.containment_ops - before_ops
+
+
+strategy.on_sample = counting_on_sample
+
+result = run_simulation(world, strategy)
+assert result.accuracy.perfect
+
+print("One simulation, three device classes, 100%% of %d alarms on time.\n"
+      % result.accuracy.expected)
+print("%-10s %-10s %10s %14s %16s" % ("class", "technique", "fixes",
+                                      "uplink msgs", "probe ops/fix"))
+TECHNIQUE = {"budget": "MWPSR", "mid-range": "PBSR h=2",
+             "flagship": "PBSR h=6"}
+for name in CLASSES:
+    bucket = per_class[name]
+    print("%-10s %-10s %10d %14d %16.2f"
+          % (name, TECHNIQUE[name], bucket["fixes"], bucket["uplinks"],
+             bucket["ops"] / max(bucket["fixes"], 1)))
+
+print("\nTall pyramids buy silence (fewer uplinks) with more probe work "
+      "per fix;\nthe budget class gets the cheapest possible monitor. "
+      "Every class keeps\nthe accuracy contract.")

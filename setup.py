@@ -1,0 +1,5 @@
+"""Setuptools shim for environments installing in legacy editable mode."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,229 @@
+"""Command-line interface.
+
+Runs the reproduction from a shell without writing Python::
+
+    python -m repro list
+    python -m repro world --workload tiny
+    python -m repro simulate --strategy mwpsr --workload tiny
+    python -m repro figure 5a --workload bench
+
+``figure`` regenerates one of the paper's tables/figures (the same
+harnesses the benchmark suite drives); ``simulate`` runs a single
+strategy over a workload preset and prints the headline metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from .engine import run_simulation
+from .experiments import (BENCH, PAPER, TINY, WorkloadConfig, build_world,
+                          coverage_size_tradeoff, figure1b, figure4a,
+                          figure4b, figure5a, figure5b, figure6a, figure6b,
+                          figure6c, figure6d, make_mwpsr_strategy,
+                          make_pbsr_strategy, residence_statistics,
+                          safe_region_statistics, workload_profile)
+from .strategies import (OptimalStrategy, PeriodicStrategy,
+                         SafePeriodStrategy)
+
+WORKLOADS: Dict[str, WorkloadConfig] = {
+    "tiny": TINY,
+    "bench": BENCH,
+    "paper": PAPER,
+}
+
+FIGURES: Dict[str, Callable] = {
+    "1b": figure1b,
+    "4a": figure4a,
+    "4b": figure4b,
+    "5a": figure5a,
+    "5b": figure5b,
+    "6a": figure6a,
+    "6b": figure6b,
+    "6c": figure6c,
+    "6d": figure6d,
+}
+
+STRATEGY_HELP = ("periodic | sp | mwpsr | mwpsr-nw | gbsr | "
+                 "pbsr[:height] | opt")
+
+
+def _resolve_workload(args: argparse.Namespace) -> WorkloadConfig:
+    config = WORKLOADS[args.workload]
+    if getattr(args, "public", None) is not None:
+        config = config.with_public_fraction(args.public)
+    if getattr(args, "placement", None):
+        from dataclasses import replace
+        config = replace(config, alarm_placement=args.placement)
+    return config
+
+
+def _resolve_strategy(spec: str, max_speed: float):
+    name, _, parameter = spec.partition(":")
+    name = name.lower()
+    if name == "periodic":
+        return PeriodicStrategy()
+    if name == "sp":
+        return SafePeriodStrategy(max_speed=max_speed)
+    if name == "mwpsr":
+        return make_mwpsr_strategy(z=int(parameter) if parameter else 32)
+    if name == "mwpsr-nw":
+        return make_mwpsr_strategy(weighted=False)
+    if name == "gbsr":
+        return make_pbsr_strategy(1)
+    if name == "pbsr":
+        return make_pbsr_strategy(int(parameter) if parameter else 5)
+    if name == "opt":
+        return OptimalStrategy()
+    raise SystemExit("unknown strategy %r (choose from: %s)"
+                     % (spec, STRATEGY_HELP))
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("workloads:  " + ", ".join(sorted(WORKLOADS)))
+    print("figures:    " + ", ".join(sorted(FIGURES)))
+    print("strategies: " + STRATEGY_HELP)
+    return 0
+
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    config = _resolve_workload(args)
+    world = build_world(config, args.cell)
+    print("universe:        %.0f x %.0f m (%.0f km^2)"
+          % (world.universe.width, world.universe.height,
+             world.universe.area / 1e6))
+    print("grid:            %d x %d cells of %.2f km^2"
+          % (world.grid.columns, world.grid.rows,
+             world.grid.actual_cell_area_km2))
+    print("vehicles:        %d, %.0f s at %.1f Hz (%d location fixes)"
+          % (len(world.traces), world.duration_s,
+             1.0 / world.traces.sample_interval,
+             world.traces.total_samples))
+    print("alarms:          %d (%s placement, %.0f%% public)"
+          % (len(world.registry), config.alarm_placement,
+             100 * config.public_fraction))
+    print("expected alarms: %d triggers in the ground truth"
+          % len(world.ground_truth()))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _resolve_workload(args)
+    world = build_world(config, args.cell)
+    strategy = _resolve_strategy(args.strategy, world.max_speed())
+    result = run_simulation(world, strategy)
+    metrics = result.metrics
+    print("strategy:             %s" % result.strategy_name)
+    print("uplink messages:      %d (%.2f%% of %d fixes)"
+          % (metrics.uplink_messages, 100 * result.message_fraction,
+             result.total_samples))
+    print("downlink:             %d messages, %d bytes (%.5f Mbps)"
+          % (metrics.downlink_messages, metrics.downlink_bytes,
+             result.downstream_bandwidth_mbps))
+    print("client energy:        %.4f mWh (%d containment ops)"
+          % (result.client_energy_mwh, metrics.containment_ops))
+    print("server time:          %.1f ms alarm processing, %.1f ms "
+          "safe-region computation"
+          % (1000 * metrics.alarm_processing_time_s,
+             1000 * metrics.saferegion_time_s))
+    print("triggers:             %d delivered / %d expected "
+          "(missed %d, spurious %d, late %d)"
+          % (result.accuracy.delivered, result.accuracy.expected,
+             result.accuracy.missed, result.accuracy.spurious,
+             result.accuracy.late))
+    return 0 if result.accuracy.perfect else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    config = _resolve_workload(args)
+    world = build_world(config, args.cell)
+    print(workload_profile(world))
+    print()
+    areas = safe_region_statistics(world, sample_count=args.samples)
+    print("MWPSR safe-region area (km^2): mean %.3f, p10 %.3f, "
+          "median %.3f, p90 %.3f"
+          % (areas.mean, areas.p10, areas.median, areas.p90))
+    residence = residence_statistics(world, make_mwpsr_strategy(),
+                                     max_vehicles=10)
+    print("MWPSR region residence (s):   mean %.1f, p10 %.1f, "
+          "median %.1f, p90 %.1f"
+          % (residence.mean, residence.p10, residence.median,
+             residence.p90))
+    print()
+    print(coverage_size_tradeoff(world, heights=(1, 2, 3, 4, 5),
+                                 sample_count=args.samples))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _resolve_workload(args)
+    harness = FIGURES[args.figure]
+    table = harness() if args.figure == "1b" else harness(config)
+    print(table)
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Safe region-based spatial alarm processing "
+                    "(ICDCS 2009 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list workloads, figures, "
+                                       "strategies").set_defaults(
+        handler=_cmd_list)
+
+    def add_workload_options(sub, with_cell=True):
+        sub.add_argument("--workload", choices=sorted(WORKLOADS),
+                         default="tiny", help="workload preset")
+        sub.add_argument("--public", type=float, default=None,
+                         help="public-alarm fraction override (0..1)")
+        sub.add_argument("--placement", choices=("uniform", "clustered"),
+                         default=None, help="alarm target placement")
+        if with_cell:
+            sub.add_argument("--cell", type=float, default=2.5,
+                             help="grid cell area in km^2 (default 2.5)")
+
+    world_parser = subparsers.add_parser(
+        "world", help="describe a workload's world")
+    add_workload_options(world_parser)
+    world_parser.set_defaults(handler=_cmd_world)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run one strategy over a workload")
+    simulate_parser.add_argument("--strategy", required=True,
+                                 help=STRATEGY_HELP)
+    add_workload_options(simulate_parser)
+    simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="profile a workload and its safe regions")
+    analyze_parser.add_argument("--samples", type=int, default=60,
+                                help="sample count for distributions")
+    add_workload_options(analyze_parser)
+    analyze_parser.set_defaults(handler=_cmd_analyze)
+
+    figure_parser = subparsers.add_parser(
+        "figure", help="regenerate a figure of the paper's evaluation")
+    figure_parser.add_argument("figure", choices=sorted(FIGURES))
+    add_workload_options(figure_parser, with_cell=False)
+    figure_parser.set_defaults(handler=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,38 @@
+"""Client-server simulation engine: server, metrics, energy, ground truth."""
+
+from .dynamic import (AlarmSchedule, InstallAction, RemoveAction,
+                      compute_dynamic_ground_truth, run_dynamic_simulation)
+from .energy import RADIO_ENERGY_MODEL, EnergyModel
+from .groundtruth import (AccuracyReport, compute_ground_truth,
+                          verify_accuracy)
+from .metrics import Metrics, TriggerEvent
+from .network import MessageSizes
+from .server import AlarmServer
+from .tracking import (TargetTrack, compute_tracking_ground_truth,
+                       run_tracking_simulation)
+from .simulation import (SimulationResult, World, run_interleaved_simulation,
+                         run_simulation)
+
+__all__ = [
+    "AccuracyReport",
+    "AlarmSchedule",
+    "AlarmServer",
+    "InstallAction",
+    "RemoveAction",
+    "compute_dynamic_ground_truth",
+    "run_dynamic_simulation",
+    "EnergyModel",
+    "Metrics",
+    "MessageSizes",
+    "RADIO_ENERGY_MODEL",
+    "SimulationResult",
+    "TargetTrack",
+    "compute_tracking_ground_truth",
+    "run_tracking_simulation",
+    "TriggerEvent",
+    "World",
+    "compute_ground_truth",
+    "run_interleaved_simulation",
+    "run_simulation",
+    "verify_accuracy",
+]

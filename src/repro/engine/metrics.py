@@ -1,0 +1,68 @@
+"""Run metrics: the quantities the paper's figures report.
+
+One :class:`Metrics` object accumulates over a full simulation run of one
+processing strategy.  Raw counters live here; derived quantities (energy
+in mWh, downstream bandwidth in Mbps) are computed by the energy model
+and the reporting layer so the counters stay model-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """One alarm firing: ``alarm_id`` fired for ``user_id`` at ``time``."""
+
+    time: float
+    user_id: int
+    alarm_id: int
+
+
+@dataclass
+class Metrics:
+    """Counters accumulated over one simulation run."""
+
+    # Client -> server traffic (the paper's headline metric, Fig. 4a/5a/6a).
+    uplink_messages: int = 0
+    uplink_bytes: int = 0
+    # Server -> client traffic (downstream bandwidth, Fig. 6b).
+    downlink_messages: int = 0
+    downlink_bytes: int = 0
+    trigger_notifications: int = 0
+    # Client-side monitoring work (client energy, Fig. 5b/6c).
+    containment_checks: int = 0
+    containment_ops: int = 0
+    # Server-side work split (server processing time, Fig. 4b/6d).
+    alarm_processing_time_s: float = 0.0
+    saferegion_time_s: float = 0.0
+    alarm_evaluations: int = 0
+    safe_region_computations: int = 0
+    index_node_accesses: int = 0
+    # Outcomes.
+    triggers: List[TriggerEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def server_time_s(self) -> float:
+        """Total server processing time (both components)."""
+        return self.alarm_processing_time_s + self.saferegion_time_s
+
+    def downstream_bandwidth_mbps(self, duration_s: float) -> float:
+        """Average downstream bandwidth over the run, in megabits/second."""
+        if duration_s <= 0:
+            return 0.0
+        return self.downlink_bytes * 8.0 / duration_s / 1e6
+
+    def fired_pairs(self) -> Set[Tuple[int, int]]:
+        """The set of ``(user_id, alarm_id)`` pairs that fired."""
+        return {(event.user_id, event.alarm_id) for event in self.triggers}
+
+    def checks_per_second(self, duration_s: float,
+                          client_count: int) -> float:
+        """Average containment detections per client per second (Fig. 5b)."""
+        if duration_s <= 0 or client_count <= 0:
+            return 0.0
+        return self.containment_checks / duration_s / client_count

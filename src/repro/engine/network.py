@@ -1,0 +1,58 @@
+"""Wire-format sizing for the client-server protocol.
+
+The paper measures the number of client-to-server messages and the
+downstream bandwidth consumed broadcasting safe regions; to report the
+latter we need byte sizes for every message the protocol exchanges.
+Sizes are deliberately simple and documented — the comparisons depend on
+their ratios (a rectangle is tiny, a bitmap is ``|B|`` bits, an OPT alarm
+push grows with alarm count), not their absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MessageSizes:
+    """Byte sizes of the protocol messages.
+
+    uplink_location     client -> server position report: user id (8),
+                        x, y (16), heading (4), speed (4).
+    downlink_header     fixed header on every server -> client payload.
+    rect_payload        a rectangular safe region: 4 x float64.
+    safe_period_payload a safe period: one float64.
+    alarm_entry         one alarm in an OPT push.  Unlike the safe-region
+                        downlinks, which are pure geometry, an OPT push
+                        must carry the *full alarm record* — id, region,
+                        scope, authorization and the alert payload — since
+                        the OPT client raises alerts autonomously without
+                        contacting the server.  Default 256 bytes.
+    bitmap_fixed        bitmap safe-region fixed part: base-cell
+                        reference (8) + bit count (4).
+    """
+
+    uplink_location: int = 32
+    downlink_header: int = 16
+    rect_payload: int = 32
+    safe_period_payload: int = 8
+    alarm_entry: int = 256
+    bitmap_fixed: int = 12
+
+    def rect_message(self) -> int:
+        """Bytes of a rectangular safe-region downlink."""
+        return self.downlink_header + self.rect_payload
+
+    def safe_period_message(self) -> int:
+        """Bytes of a safe-period downlink."""
+        return self.downlink_header + self.safe_period_payload
+
+    def bitmap_message(self, bit_length: int) -> int:
+        """Bytes of a bitmap safe-region downlink of ``bit_length`` bits."""
+        return (self.downlink_header + self.bitmap_fixed
+                + (bit_length + 7) // 8)
+
+    def alarm_push_message(self, alarm_count: int) -> int:
+        """Bytes of an OPT downlink carrying ``alarm_count`` alarms."""
+        return (self.downlink_header + self.rect_payload  # the cell rect
+                + alarm_count * self.alarm_entry)

@@ -1,0 +1,151 @@
+"""The alarm-processing server.
+
+One :class:`AlarmServer` instance plays the server role for a single
+simulation run: it receives client location reports, evaluates them
+against the alarm index, fires alarms with one-shot semantics, and times
+its two work components — *alarm processing* (trigger evaluation per
+location report) and *safe-region computation* (everything a strategy
+does to produce a safe region or safe period) — which are the two bars
+of the paper's server-load figures (Fig. 4(b), Fig. 6(d)).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator, List, Set, Tuple
+
+from ..alarms import AlarmRegistry, SpatialAlarm
+from ..geometry import Point, Rect
+from ..index import GridOverlay
+from .metrics import Metrics, TriggerEvent
+from .network import MessageSizes
+
+
+class AlarmServer:
+    """Server-side state and accounting for one simulation run."""
+
+    def __init__(self, registry: AlarmRegistry, grid: GridOverlay,
+                 metrics: Metrics,
+                 sizes: MessageSizes = MessageSizes(),
+                 use_cell_cache: bool = False) -> None:
+        self.registry = registry
+        self.grid = grid
+        self.metrics = metrics
+        self.sizes = sizes
+        # One-shot bookkeeping: alarm ids already fired, per user.
+        self._fired: dict = {}
+        # Optional per-cell alarm cache (safe-region hot path): the grid
+        # is fixed, so each cell's alarm list can be memoized and served
+        # with relevance filtering instead of an R*-tree range query.
+        self._cell_cache = None
+        if use_cell_cache:
+            from ..alarms.cellcache import CellAlarmCache
+            self._cell_cache = CellAlarmCache(registry, grid)
+
+    # ------------------------------------------------------------------
+    # One-shot state
+    # ------------------------------------------------------------------
+    def fired_for(self, user_id: int) -> Set[int]:
+        """Alarm ids already fired for ``user_id`` (mutable view)."""
+        fired = self._fired.get(user_id)
+        if fired is None:
+            fired = set()
+            self._fired[user_id] = fired
+        return fired
+
+    # ------------------------------------------------------------------
+    # Message accounting
+    # ------------------------------------------------------------------
+    def receive_location(self, nbytes: int) -> None:
+        self.metrics.uplink_messages += 1
+        self.metrics.uplink_bytes += nbytes
+
+    def send_downlink(self, nbytes: int) -> None:
+        self.metrics.downlink_messages += 1
+        self.metrics.downlink_bytes += nbytes
+
+    # ------------------------------------------------------------------
+    # Alarm processing
+    # ------------------------------------------------------------------
+    def process_location(self, user_id: int, time_s: float,
+                         position: Point) -> List[SpatialAlarm]:
+        """Evaluate a location report; fire and return triggered alarms.
+
+        Fires every pending relevant alarm whose region interior contains
+        ``position`` and records a trigger notification per firing.  The
+        work is timed into the *alarm processing* bucket.
+        """
+        fired = self.fired_for(user_id)
+        with self._timed_alarm_processing():
+            triggered = self.registry.triggered_at(user_id, position,
+                                                   exclude_ids=fired)
+        self.metrics.alarm_evaluations += 1
+        for alarm in triggered:
+            fired.add(alarm.alarm_id)
+            self.metrics.triggers.append(
+                TriggerEvent(time=time_s, user_id=user_id,
+                             alarm_id=alarm.alarm_id))
+            self.metrics.trigger_notifications += 1
+        return triggered
+
+    # ------------------------------------------------------------------
+    # Safe-region inputs
+    # ------------------------------------------------------------------
+    def current_cell(self, position: Point) -> Rect:
+        return self.grid.cell_rect_of_point(position)
+
+    def pending_alarms_in(self, user_id: int,
+                          rect: Rect) -> List[SpatialAlarm]:
+        """Pending (unfired) relevant alarms interior-overlapping ``rect``."""
+        if self._cell_cache is not None:
+            cell = self.grid.cell_of(rect.center)
+            if self.grid.cell_rect(cell) == rect:
+                return self._cell_cache.relevant_pending(
+                    user_id, cell, exclude_ids=self.fired_for(user_id))
+        return self.registry.relevant_intersecting(
+            user_id, rect, exclude_ids=self.fired_for(user_id))
+
+    def pending_nearest_distance(self, user_id: int,
+                                 position: Point) -> float:
+        """Distance to the nearest pending relevant alarm region."""
+        return self.registry.nearest_relevant_distance(
+            user_id, position, exclude_ids=self.fired_for(user_id))
+
+    def close(self) -> None:
+        """Release run-scoped resources (detach the cell cache, if any)."""
+        if self._cell_cache is not None:
+            self._cell_cache.detach()
+            self._cell_cache = None
+
+    # ------------------------------------------------------------------
+    # Timing buckets
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _timed_alarm_processing(self) -> Iterator[None]:
+        accesses_before = self.registry.tree.stats.node_accesses
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.metrics.alarm_processing_time_s += (
+                time.perf_counter() - started)
+            self.metrics.index_node_accesses += (
+                self.registry.tree.stats.node_accesses - accesses_before)
+
+    @contextmanager
+    def timed_saferegion(self) -> Iterator[None]:
+        """Time a block into the *safe-region computation* bucket.
+
+        Strategies wrap their safe-region (or safe-period) production in
+        this context manager so Fig. 4(b)/6(d) can split server load.
+        """
+        accesses_before = self.registry.tree.stats.node_accesses
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.metrics.saferegion_time_s += time.perf_counter() - started
+            self.metrics.index_node_accesses += (
+                self.registry.tree.stats.node_accesses - accesses_before)
+        self.metrics.safe_region_computations += 1

@@ -1,0 +1,187 @@
+"""Workload- and technique-level analysis utilities.
+
+Beyond regenerating the paper's figures, a reproduction should let you
+*interrogate* the system: how large are the safe regions a technique
+produces, how long do clients actually stay inside them, and how does
+the pyramid height trade coverage against bitmap size (the paper's
+Proposition 3, stated but never plotted).  These helpers compute those
+distributions from a world without modifying it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..engine import World
+from ..geometry import Point, Rect
+from ..index import Pyramid
+from ..saferegion import LazyPyramidBitmap, MWPSRComputer
+from .report import Table
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of a sample of values."""
+
+    count: int
+    mean: float
+    minimum: float
+    p10: float
+    median: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "DistributionSummary":
+        if not values:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(values)
+        n = len(ordered)
+
+        def quantile(fraction: float) -> float:
+            return ordered[min(n - 1, int(fraction * n))]
+
+        return cls(count=n, mean=sum(ordered) / n, minimum=ordered[0],
+                   p10=quantile(0.10), median=quantile(0.50),
+                   p90=quantile(0.90), maximum=ordered[-1])
+
+
+def _sample_scenarios(world: World, sample_count: int,
+                      seed: int) -> List[Tuple[Point, float, Rect]]:
+    """Draw (position, heading, cell) triples from the world's traces."""
+    rng = random.Random(seed)
+    vehicle_ids = world.traces.vehicle_ids()
+    scenarios = []
+    for _ in range(sample_count):
+        trace = world.traces[rng.choice(vehicle_ids)]
+        sample = trace[rng.randrange(len(trace))]
+        cell = world.grid.cell_rect_of_point(sample.position)
+        scenarios.append((sample.position, sample.heading, cell))
+    return scenarios
+
+
+def safe_region_statistics(world: World,
+                           computer: Optional[MWPSRComputer] = None,
+                           sample_count: int = 200,
+                           user_id: Optional[int] = None,
+                           seed: int = 5) -> DistributionSummary:
+    """Distribution of MWPSR safe-region areas (km^2) over trace samples.
+
+    Positions are drawn from the world's traces (so the distribution
+    reflects where subscribers actually are, not uniform space); the
+    relevant pending alarm set is evaluated for ``user_id`` (default:
+    the sampled vehicle itself).
+    """
+    if computer is None:
+        computer = MWPSRComputer()
+    rng = random.Random(seed)
+    vehicle_ids = world.traces.vehicle_ids()
+    areas: List[float] = []
+    for _ in range(sample_count):
+        vehicle = rng.choice(vehicle_ids)
+        trace = world.traces[vehicle]
+        sample = trace[rng.randrange(len(trace))]
+        cell = world.grid.cell_rect_of_point(sample.position)
+        subscriber = vehicle if user_id is None else user_id
+        alarms = world.registry.relevant_intersecting(subscriber, cell)
+        result = computer.compute(sample.position, sample.heading, cell,
+                                  [a.region for a in alarms
+                                   if not a.region.interior_contains_point(
+                                       sample.position)])
+        areas.append(result.rect.area / 1e6)
+    return DistributionSummary.of(areas)
+
+
+def coverage_size_tradeoff(world: World,
+                           heights: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+                           sample_count: int = 60,
+                           seed: int = 6) -> Table:
+    """Proposition 3 as a table: coverage eta vs bitmap size per height.
+
+    For each pyramid height, averages the coverage and serialized bitmap
+    size of the safe region over cells sampled from subscriber
+    positions, using the sampled subscriber's relevant alarms.
+    """
+    scenarios = _sample_scenarios(world, sample_count, seed)
+    rng = random.Random(seed + 1)
+    vehicle_ids = world.traces.vehicle_ids()
+    table = Table("Proposition 3: coverage vs bitmap size",
+                  ["height", "avg coverage", "avg bits", "p90 bits"])
+    for height in heights:
+        coverages: List[float] = []
+        bits: List[float] = []
+        for position, _, cell in scenarios:
+            user = rng.choice(vehicle_ids)
+            alarms = world.registry.relevant_intersecting(user, cell)
+            pyramid = Pyramid(cell, height=height)
+            bitmap = LazyPyramidBitmap(pyramid,
+                                       [a.region for a in alarms])
+            coverages.append(bitmap.coverage())
+            bits.append(float(bitmap.bit_length()))
+        summary = DistributionSummary.of(bits)
+        table.add_row(height, sum(coverages) / len(coverages),
+                      summary.mean, summary.p90)
+    return table
+
+
+def residence_statistics(world: World, strategy,
+                         max_vehicles: Optional[int] = None
+                         ) -> DistributionSummary:
+    """Distribution of safe-region residence times (seconds).
+
+    Replays traces through ``strategy`` and measures, for every client,
+    the gaps between consecutive server contacts — how long each shipped
+    safe region (or safe period) actually kept its client silent.
+    """
+    from ..engine import Metrics
+    from ..engine.server import AlarmServer
+    from ..strategies.base import ClientState
+
+    metrics = Metrics()
+    server = AlarmServer(world.registry, world.grid, metrics,
+                         sizes=world.sizes)
+    strategy.attach(server)
+    residences: List[float] = []
+    vehicle_ids = world.traces.vehicle_ids()
+    if max_vehicles is not None:
+        vehicle_ids = vehicle_ids[:max_vehicles]
+    for vehicle_id in vehicle_ids:
+        trace = world.traces[vehicle_id]
+        client = ClientState(vehicle_id)
+        last_contact: Optional[float] = None
+        for sample in trace:
+            before = metrics.uplink_messages
+            strategy.on_sample(client, sample)
+            if metrics.uplink_messages > before:
+                if last_contact is not None:
+                    residences.append(sample.time - last_contact)
+                last_contact = sample.time
+    if not residences:
+        # a fully silent run: every region outlived its trace
+        residences = [world.duration_s]
+    return DistributionSummary.of(residences)
+
+
+def workload_profile(world: World) -> Table:
+    """Per-cell relevant-alarm density profile of a workload.
+
+    For every grid cell, counts the alarms interior-overlapping it (the
+    safe-region working set size); summarizes the distribution.  This is
+    the quantity the techniques' costs actually scale with.
+    """
+    counts: List[float] = []
+    for col in range(world.grid.columns):
+        for row in range(world.grid.rows):
+            from ..index import CellId
+            cell = world.grid.cell_rect(CellId(col, row))
+            alarms = world.registry.tree.search_interior_intersecting(cell)
+            counts.append(float(len(alarms)))
+    summary = DistributionSummary.of(counts)
+    table = Table("Workload profile: alarms per grid cell",
+                  ["cells", "mean", "p10", "median", "p90", "max"])
+    table.add_row(summary.count, summary.mean, summary.p10, summary.median,
+                  summary.p90, summary.maximum)
+    return table

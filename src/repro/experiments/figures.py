@@ -1,0 +1,295 @@
+"""One harness function per paper figure (the experiment index of DESIGN.md).
+
+Every function reproduces the rows/series of one figure from the paper's
+Section 5 and returns a :class:`~repro.experiments.report.Table`; the
+benchmark suite runs them and prints the tables.  Absolute magnitudes
+differ from the paper (different hardware, different map, scaled
+workload — see EXPERIMENTS.md), but each function's docstring states the
+qualitative shape that must hold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..engine import SimulationResult, run_simulation
+from ..mobility import SteadyMotionModel, UniformMotionModel
+from ..saferegion import MWPSRComputer, PBSRComputer
+from ..strategies import (BitmapSafeRegionStrategy, OptimalStrategy,
+                          PeriodicStrategy, RectangularSafeRegionStrategy,
+                          SafePeriodStrategy)
+from .configs import (DEFAULT_CELL_AREA_KM2, BENCH, WorkloadConfig,
+                      build_world, scaled_cell_sizes)
+from .report import Table
+
+PUBLIC_SWEEP = (0.01, 0.10, 0.20)
+
+
+# ----------------------------------------------------------------------
+# Strategy factories
+# ----------------------------------------------------------------------
+def make_mwpsr_strategy(y: float = 1.0, z: int = 32,
+                        weighted: bool = True,
+                        exhaustive: bool = False
+                        ) -> RectangularSafeRegionStrategy:
+    """The rectangular strategy in any of its Fig. 4 variants."""
+    if weighted:
+        model = SteadyMotionModel(y=y, z=z)
+        name = "MWPSR(y=%g,z=%d)" % (y, z)
+    else:
+        model = UniformMotionModel()
+        name = "MPSR(non-weighted)"
+    computer = MWPSRComputer(model=model, exhaustive=exhaustive)
+    return RectangularSafeRegionStrategy(computer, name=name)
+
+
+def make_pbsr_strategy(height: int = 5) -> BitmapSafeRegionStrategy:
+    """The bitmap strategy at a pyramid height (height 1 == GBSR)."""
+    name = "GBSR" if height == 1 else "PBSR(h=%d)" % height
+    return BitmapSafeRegionStrategy(PBSRComputer(height=height), name=name)
+
+
+#: Memoized simulation runs.  Strategies are deterministic and fully
+#: described by their name, so one (workload, grid, strategy) run serves
+#: every figure that needs it — Fig. 5(a) and 5(b) share one height
+#: sweep, Fig. 6(a)-(d) share one strategy sweep.
+_RESULT_CACHE: Dict[Tuple[WorkloadConfig, float, str], SimulationResult] = {}
+
+
+def clear_result_cache() -> None:
+    """Drop memoized simulation runs (paired with configs.clear_caches)."""
+    _RESULT_CACHE.clear()
+
+
+def _run(config: WorkloadConfig, strategy,
+         cell_area_km2: float = DEFAULT_CELL_AREA_KM2) -> SimulationResult:
+    key = (config, cell_area_km2, strategy.name)
+    result = _RESULT_CACHE.get(key)
+    if result is None:
+        world = build_world(config, cell_area_km2)
+        result = run_simulation(world, strategy)
+        _RESULT_CACHE[key] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 1(b): the steady-motion density
+# ----------------------------------------------------------------------
+def figure1b(y: float = 1.0, zs: Sequence[int] = (2, 4, 8),
+             steps: int = 9) -> Table:
+    """p(phi) for y=1 and several z.
+
+    Shape: every curve is symmetric, flat for |phi| <= pi/z, decreasing
+    beyond, always above zero, and integrates to 1.
+    """
+    table = Table("Fig 1(b): steady-motion pdf p(phi), y=%g" % y,
+                  ["phi/pi"] + ["z=%d" % z for z in zs])
+    models = [SteadyMotionModel(y=y, z=z) for z in zs]
+    for index in range(-steps, steps + 1):
+        phi = math.pi * index / steps
+        table.add_row("%.2f" % (index / steps),
+                      *["%.4f" % model.pdf(phi) for model in models])
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 4(a): messages vs grid cell size, rectangular variants
+# ----------------------------------------------------------------------
+def figure4a(config: WorkloadConfig = BENCH,
+             cell_sizes: Optional[Sequence[float]] = None,
+             zs: Sequence[int] = (4, 16, 32)) -> Table:
+    """Client-to-server messages vs cell size, non-weighted vs weighted.
+
+    Shape: message counts fall as cells grow; every weighted variant is
+    at most the non-weighted count; all variants keep the uplink fraction
+    under a few percent of total location fixes.
+    """
+    if cell_sizes is None:
+        cell_sizes = scaled_cell_sizes(config)
+    headers = (["cell km^2", "non-weighted"]
+               + ["y=1,z=%d" % z for z in zs] + ["fix fraction"])
+    table = Table("Fig 4(a): client-to-server messages (rectangular)",
+                  headers)
+    for size in cell_sizes:
+        row = [size]
+        results = [_run(config, make_mwpsr_strategy(weighted=False),
+                        cell_area_km2=size)]
+        for z in zs:
+            results.append(_run(config, make_mwpsr_strategy(z=z),
+                                cell_area_km2=size))
+        row.extend(result.metrics.uplink_messages for result in results)
+        row.append(max(result.message_fraction for result in results))
+        table.add_row(*row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 4(b): server processing time vs grid cell size
+# ----------------------------------------------------------------------
+def figure4b(config: WorkloadConfig = BENCH,
+             cell_sizes: Optional[Sequence[float]] = None,
+             z: int = 32) -> Table:
+    """Server time split vs cell size for the weighted approach.
+
+    Shape: alarm-processing time falls with cell size (fewer location
+    reports), safe-region time rises (more alarms per cell), the total is
+    minimized at an interior cell size.
+    """
+    if cell_sizes is None:
+        cell_sizes = scaled_cell_sizes(config)
+    table = Table("Fig 4(b): server processing time, MWPSR y=1 z=%d" % z,
+                  ["cell km^2", "alarm proc (s)", "safe region (s)",
+                   "total (s)"])
+    for size in cell_sizes:
+        result = _run(config, make_mwpsr_strategy(z=z), cell_area_km2=size)
+        metrics = result.metrics
+        table.add_row(size, metrics.alarm_processing_time_s,
+                      metrics.saferegion_time_s, metrics.server_time_s)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 5(a)/(b): BSR sweep over pyramid height and public-alarm share
+# ----------------------------------------------------------------------
+def figure5a(config: WorkloadConfig = BENCH,
+             heights: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+             publics: Sequence[float] = PUBLIC_SWEEP) -> Table:
+    """Client-to-server messages vs pyramid height.
+
+    Shape: GBSR (h=1) sends by far the most messages; counts drop
+    sharply as the pyramid grows; higher public-alarm shares shift every
+    curve upward.
+    """
+    table = Table("Fig 5(a): client-to-server messages (BSR)",
+                  ["height"] + ["%d%% public" % round(100 * p)
+                                for p in publics])
+    for height in heights:
+        row = [height]
+        for public in publics:
+            result = _run(config.with_public_fraction(public),
+                          make_pbsr_strategy(height))
+            row.append(result.metrics.uplink_messages)
+        table.add_row(*row)
+    return table
+
+
+def figure5b(config: WorkloadConfig = BENCH,
+             heights: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+             publics: Sequence[float] = PUBLIC_SWEEP) -> Table:
+    """Client energy (mWh) vs pyramid height.
+
+    Shape: energy grows with pyramid height (deeper probes per fix) and
+    with the public-alarm share; the low-density curve stays nearly flat.
+    """
+    table = Table("Fig 5(b): client energy mWh (BSR)",
+                  ["height"] + ["%d%% public" % round(100 * p)
+                                for p in publics])
+    for height in heights:
+        row = [height]
+        for public in publics:
+            result = _run(config.with_public_fraction(public),
+                          make_pbsr_strategy(height))
+            row.append(result.client_energy_mwh)
+        table.add_row(*row)
+    return table
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: safe region vs the other approaches
+# ----------------------------------------------------------------------
+def _fig6_strategies(world_max_speed: float, pbsr_height: int = 5):
+    return [
+        make_mwpsr_strategy(z=32),
+        make_pbsr_strategy(pbsr_height),
+        SafePeriodStrategy(max_speed=world_max_speed),
+        OptimalStrategy(),
+    ]
+
+
+def figure6a(config: WorkloadConfig = BENCH,
+             publics: Sequence[float] = PUBLIC_SWEEP) -> Table:
+    """Client-to-server messages: MWPSR, PBSR(h=5), SP, OPT.
+
+    Shape: OPT sends the fewest messages; SP sends a small multiple
+    (roughly 2-3x) of the safe-region approaches; PRD (reported in the
+    last column for reference, off-chart in the paper) sends every fix.
+    """
+    table = Table("Fig 6(a): client-to-server messages by approach",
+                  ["% public", "MWPSR", "PBSR", "SP", "OPT",
+                   "PRD (off-chart)"])
+    for public in publics:
+        cfg = config.with_public_fraction(public)
+        world = build_world(cfg, DEFAULT_CELL_AREA_KM2)
+        row = [round(100 * public)]
+        for strategy in _fig6_strategies(world.max_speed()):
+            row.append(_run(cfg, strategy).metrics.uplink_messages)
+        row.append(_run(cfg, PeriodicStrategy()).metrics.uplink_messages)
+        table.add_row(*row)
+    return table
+
+
+def figure6b(config: WorkloadConfig = BENCH,
+             publics: Sequence[float] = PUBLIC_SWEEP) -> Table:
+    """Downstream bandwidth (Mbps): MWPSR, PBSR(h=5), OPT.
+
+    Shape: the safe-region approaches consume far less downstream
+    bandwidth than OPT's alarm pushes; PBSR(h=5) is best or near-best at
+    every public-alarm share.  (SP's downlink is excluded, as in the
+    paper.)
+    """
+    table = Table("Fig 6(b): downstream bandwidth (Mbps)",
+                  ["% public", "MWPSR", "PBSR", "OPT"])
+    for public in publics:
+        cfg = config.with_public_fraction(public)
+        row = [round(100 * public)]
+        for strategy in (make_mwpsr_strategy(z=32), make_pbsr_strategy(5),
+                         OptimalStrategy()):
+            row.append(_run(cfg, strategy).downstream_bandwidth_mbps)
+        table.add_row(*row)
+    return table
+
+
+def figure6c(config: WorkloadConfig = BENCH,
+             publics: Sequence[float] = PUBLIC_SWEEP) -> Table:
+    """Client energy (mWh): MWPSR, PBSR(h=5), OPT.
+
+    Shape: OPT costs significantly more client energy than the
+    safe-region approaches, and the gap widens with alarm density.
+    """
+    table = Table("Fig 6(c): client energy (mWh)",
+                  ["% public", "MWPSR", "PBSR", "OPT"])
+    for public in publics:
+        cfg = config.with_public_fraction(public)
+        row = [round(100 * public)]
+        for strategy in (make_mwpsr_strategy(z=32), make_pbsr_strategy(5),
+                         OptimalStrategy()):
+            row.append(_run(cfg, strategy).client_energy_mwh)
+        table.add_row(*row)
+    return table
+
+
+def figure6d(config: WorkloadConfig = BENCH,
+             publics: Sequence[float] = (0.01, 0.10)) -> Table:
+    """Server processing time split: PRD, MWPSR, PBSR, SP, OPT.
+
+    Shape: PRD's alarm-processing time towers over everything; the
+    safe-region approaches have the lowest totals, with the safe-region
+    computation share growing with the public-alarm percentage; SP sits
+    between PRD and the safe-region approaches.
+    """
+    table = Table("Fig 6(d): server processing time (s)",
+                  ["% public", "approach", "alarm proc", "safe region",
+                   "total"])
+    for public in publics:
+        cfg = config.with_public_fraction(public)
+        world = build_world(cfg, DEFAULT_CELL_AREA_KM2)
+        strategies = [PeriodicStrategy()] + _fig6_strategies(
+            world.max_speed())
+        for strategy in strategies:
+            metrics = _run(cfg, strategy).metrics
+            table.add_row(round(100 * public), strategy.name,
+                          metrics.alarm_processing_time_s,
+                          metrics.saferegion_time_s,
+                          metrics.server_time_s)
+    return table

@@ -1,0 +1,58 @@
+"""Plain-text tables for experiment output.
+
+Benchmarks print the same rows/series the paper's figures report; this
+module is the tiny formatting layer they share.  No plotting dependency:
+the tables are the artifact, and EXPERIMENTS.md snapshots them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A titled table with aligned plain-text rendering."""
+
+    def __init__(self, title: str, headers: Sequence[str]) -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError("row width %d != header width %d"
+                             % (len(values), len(self.headers)))
+        self.rows.append([_format(value) for value in values])
+
+    def column(self, name: str) -> List[str]:
+        """All values of the named column, in row order."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def __str__(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, value in enumerate(row):
+                widths[index] = max(widths[index], len(value))
+        lines = [self.title,
+                 "  ".join(header.ljust(width)
+                           for header, width in zip(self.headers, widths))]
+        lines.append("  ".join("-" * width for width in widths))
+        for row in self.rows:
+            lines.append("  ".join(value.ljust(width)
+                                   for value, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        if abs(value) >= 1:
+            return "%.2f" % value
+        return "%.4f" % value
+    return str(value)

@@ -1,0 +1,69 @@
+"""Scalability sweep: server load as the client population grows.
+
+The paper's motivation (Section 1): "with increasing number of users and
+installed spatial alarms in the system, the alarm processing server may
+become a bottleneck."  The evaluation shows one population; this sweep
+varies it, measuring how each approach's server time and message volume
+scale — the quantity that decides how many subscribers one server can
+carry.
+
+Expected shape: periodic processing scales linearly in the population's
+*location fixes* (every fix is server work), while the safe-region
+approaches scale in *safe-region exits*, a far smaller and geometry-
+bound number — so the gap widens with population, which is the entire
+argument for the distributed architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence
+
+from ..engine import SimulationResult, run_simulation
+from ..strategies import PeriodicStrategy, SafePeriodStrategy
+from .configs import DEFAULT_CELL_AREA_KM2, WorkloadConfig, build_world
+from .figures import make_mwpsr_strategy, make_pbsr_strategy
+from .report import Table
+
+
+def scalability_sweep(config: WorkloadConfig,
+                      populations: Sequence[int] = (30, 60, 120, 240),
+                      cell_area_km2: float = DEFAULT_CELL_AREA_KM2
+                      ) -> Dict[int, Dict[str, SimulationResult]]:
+    """Run PRD, SP, MWPSR and PBSR at each population size.
+
+    Returns ``{population: {strategy_name: result}}``; worlds are the
+    standard memoized ones, so repeated sweeps are cheap.
+    """
+    results: Dict[int, Dict[str, SimulationResult]] = {}
+    for population in populations:
+        scaled = replace(config, vehicle_count=population)
+        world = build_world(scaled, cell_area_km2)
+        per_strategy: Dict[str, SimulationResult] = {}
+        for strategy in (PeriodicStrategy(),
+                         SafePeriodStrategy(max_speed=world.max_speed()),
+                         make_mwpsr_strategy(z=32),
+                         make_pbsr_strategy(5)):
+            per_strategy[strategy.name] = run_simulation(world, strategy)
+        results[population] = per_strategy
+    return results
+
+
+def scalability_table(results: Dict[int, Dict[str, SimulationResult]]
+                      ) -> Table:
+    """Render a sweep as server-time and message columns per approach."""
+    populations = sorted(results)
+    names: List[str] = list(results[populations[0]])
+    headers = (["clients"]
+               + ["%s msgs" % name for name in names]
+               + ["%s srv-ms" % name for name in names])
+    table = Table("Scalability: server cost vs client population", headers)
+    for population in populations:
+        row: List[object] = [population]
+        for name in names:
+            row.append(results[population][name].metrics.uplink_messages)
+        for name in names:
+            row.append(round(
+                1000 * results[population][name].metrics.server_time_s, 1))
+        table.add_row(*row)
+    return table

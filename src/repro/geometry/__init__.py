@@ -1,0 +1,15 @@
+"""Planar geometry substrate: points, rectangles, rectilinear regions."""
+
+from .point import ORIGIN, Point, normalize_angle
+from .polygon import RectilinearRegion, region_from_rect_minus_holes
+from .rect import Rect, total_disjoint_area
+
+__all__ = [
+    "ORIGIN",
+    "Point",
+    "Rect",
+    "RectilinearRegion",
+    "normalize_angle",
+    "region_from_rect_minus_holes",
+    "total_disjoint_area",
+]

@@ -1,0 +1,139 @@
+"""Rectilinear polygons represented as unions of axis-aligned rectangles.
+
+The bitmap-encoded safe regions of the paper (GBSR/PBSR, Section 4) are
+rectilinear polygons: unions of grid/pyramid cells fully outside every
+relevant alarm region.  For our purposes a sorted-rectangle union with a
+small lookup index is the right representation — cells arriving from the
+pyramid decomposition are already pairwise interior-disjoint, so area and
+containment are exact without any sweep-line machinery.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, List, Optional, Sequence
+
+from .point import Point
+from .rect import Rect
+
+
+class RectilinearRegion:
+    """A union of pairwise interior-disjoint axis-aligned rectangles.
+
+    The class does *not* verify disjointness on construction (the
+    producers — grid and pyramid decompositions — guarantee it, and the
+    check is quadratic); :meth:`validate_disjoint` performs the check
+    explicitly and is exercised by the test suite.
+
+    Containment queries are served from a simple x-sorted index: pieces
+    are sorted by ``min_x`` and a binary search bounds the candidate
+    range.  For bitmap safe regions the number of pieces is modest
+    (hundreds at pyramid height 7) and this is entirely sufficient;
+    clients in the actual protocol use the O(h) pyramid bit-probe path in
+    :mod:`repro.saferegion.pbsr` instead of this generic geometry.
+    """
+
+    __slots__ = ("_pieces", "_min_xs", "_bounds")
+
+    def __init__(self, pieces: Iterable[Rect]) -> None:
+        ordered = sorted(pieces, key=lambda r: (r.min_x, r.min_y))
+        self._pieces: List[Rect] = ordered
+        self._min_xs: List[float] = [r.min_x for r in ordered]
+        self._bounds: Optional[Rect] = (
+            Rect.bounding(ordered) if ordered else None)
+
+    # ------------------------------------------------------------------
+    @property
+    def pieces(self) -> Sequence[Rect]:
+        """The disjoint rectangles composing the region (x-sorted)."""
+        return tuple(self._pieces)
+
+    @property
+    def bounds(self) -> Optional[Rect]:
+        """Minimum bounding rectangle, or ``None`` for the empty region."""
+        return self._bounds
+
+    @property
+    def area(self) -> float:
+        """Exact area (pieces are interior-disjoint by contract)."""
+        return sum(r.area for r in self._pieces)
+
+    def is_empty(self) -> bool:
+        return not self._pieces
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """Closed containment: True when any piece contains ``p``.
+
+        Pieces with ``min_x`` beyond ``p.x`` cannot contain the point, so
+        the x-sorted order lets us cut the scan with a binary search.
+        """
+        if self._bounds is None or not self._bounds.contains_point(p):
+            return False
+        hi = bisect.bisect_right(self._min_xs, p.x)
+        for index in range(hi - 1, -1, -1):
+            piece = self._pieces[index]
+            if piece.contains_point(p):
+                return True
+        return False
+
+    def interior_intersects_rect(self, rect: Rect) -> bool:
+        """True when any piece's interior overlaps ``rect``'s interior."""
+        if self._bounds is None or not self._bounds.interior_intersects(rect):
+            return False
+        return any(piece.interior_intersects(rect) for piece in self._pieces)
+
+    def coverage_of(self, container: Rect) -> float:
+        """Fraction of ``container`` covered by this region.
+
+        This is the paper's coverage metric ``eta(Psi_s)`` (Section 4.2):
+        the ratio of safe-region area to grid-cell area.  Pieces are
+        clipped to the container so a region extending past it (which the
+        safe-region producers never generate) is not over-counted.
+        """
+        if container.area == 0.0:
+            return 0.0
+        covered = sum(piece.intersection_area(container)
+                      for piece in self._pieces)
+        return covered / container.area
+
+    def validate_disjoint(self) -> None:
+        """Raise ``ValueError`` if any two pieces overlap in their interiors.
+
+        Quadratic; intended for tests and debugging, not the hot path.
+        """
+        for i, first in enumerate(self._pieces):
+            for second in self._pieces[i + 1:]:
+                if second.min_x >= first.max_x and second.min_x > first.min_x:
+                    # pieces are x-sorted; once min_x clears first.max_x the
+                    # remaining pieces cannot overlap first
+                    break
+                if first.interior_intersects(second):
+                    raise ValueError(
+                        "overlapping pieces: %r and %r" % (first, second))
+
+
+def region_from_rect_minus_holes(container: Rect,
+                                 holes: Iterable[Rect]) -> RectilinearRegion:
+    """Decompose ``container`` minus the union of ``holes`` into rectangles.
+
+    This computes the *exact* safe region of a grid cell — the cell minus
+    every intersecting alarm region — which is what the optimal (OPT)
+    strategy conceptually ships to the client and what bitmap encodings
+    approximate from below.  Works by iterated guillotine subtraction;
+    the result pieces are pairwise interior-disjoint.
+    """
+    pieces: List[Rect] = [container]
+    for hole in holes:
+        if not container.interior_intersects(hole):
+            continue
+        next_pieces: List[Rect] = []
+        for piece in pieces:
+            next_pieces.extend(piece.subtract(hole))
+        pieces = next_pieces
+        if not pieces:
+            break
+    return RectilinearRegion(pieces)

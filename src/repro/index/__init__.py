@@ -1,0 +1,15 @@
+"""Spatial indexing substrates: R*-tree, uniform grid, pyramid."""
+
+from .grid import CellId, GridOverlay
+from .pyramid import DEFAULT_FAN, Pyramid, PyramidCell
+from .rstar import RStarTree, TreeStats
+
+__all__ = [
+    "CellId",
+    "DEFAULT_FAN",
+    "GridOverlay",
+    "Pyramid",
+    "PyramidCell",
+    "RStarTree",
+    "TreeStats",
+]

@@ -1,0 +1,137 @@
+"""Pyramid cell decomposition (Samet's pyramid, paper Section 4.2).
+
+The Pyramid Bitmap Encoded Safe Region (PBSR) splits a base grid cell
+recursively: level 0 is the entire cell, level 1 is a U x V subdivision,
+level 2 subdivides each level-1 cell into U x V again, and so on up to a
+height ``h``.  Only cells that intersect alarm regions (bit 0) are split
+further, which is where the representation wins over a flat grid.
+
+This module provides the pure *geometry* of the decomposition — cell
+addressing, rectangles, point location and parent/child navigation.  The
+bit assignment and serialization live in :mod:`repro.saferegion.bitmap`.
+
+Cell addressing: a cell at level ``L`` is identified by ``(col, row)``
+with ``0 <= col < U**L`` and ``0 <= row < V**L``.  Raster-scan order —
+top row first, left to right, matching Fig. 3 of the paper — is the
+canonical enumeration order everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..geometry import Point, Rect
+
+DEFAULT_FAN = 3  # the paper's figures use 3x3 splits
+
+
+@dataclass(frozen=True)
+class PyramidCell:
+    """Address of one cell in the decomposition."""
+
+    level: int
+    col: int
+    row: int
+
+
+class Pyramid:
+    """Geometry of a U x V recursive decomposition of a base rectangle."""
+
+    def __init__(self, base: Rect, fan_cols: int = DEFAULT_FAN,
+                 fan_rows: int = DEFAULT_FAN, height: int = 1) -> None:
+        if fan_cols < 2 or fan_rows < 2:
+            raise ValueError("split factors must be at least 2")
+        if height < 1:
+            raise ValueError("height must be at least 1")
+        if base.area == 0:
+            raise ValueError("base cell must have positive area")
+        self.base = base
+        self.fan_cols = fan_cols
+        self.fan_rows = fan_rows
+        self.height = height
+
+    # ------------------------------------------------------------------
+    def grid_dims(self, level: int) -> Tuple[int, int]:
+        """``(columns, rows)`` of the full grid at ``level``."""
+        self._check_level(level)
+        return (self.fan_cols ** level, self.fan_rows ** level)
+
+    def cell_rect(self, cell: PyramidCell) -> Rect:
+        """Geometric rectangle of ``cell``.
+
+        Edges use the ratio form ``base.min + base.extent * k / n`` so
+        that coincident boundaries at *different* levels (e.g. 24/27 and
+        8/9) evaluate to bit-identical floats — cells then tile exactly
+        and never overlap across levels.
+        """
+        cols, rows = self.grid_dims(cell.level)
+        if not (0 <= cell.col < cols and 0 <= cell.row < rows):
+            raise ValueError("cell %r outside level grid" % (cell,))
+        return Rect(self.base.min_x + self.base.width * cell.col / cols,
+                    self.base.min_y + self.base.height * cell.row / rows,
+                    self.base.min_x + self.base.width * (cell.col + 1) / cols,
+                    self.base.min_y + self.base.height * (cell.row + 1) / rows)
+
+    def locate(self, p: Point, level: int) -> PyramidCell:
+        """Cell of ``p`` at ``level``; boundary points clamp inward."""
+        cols, rows = self.grid_dims(level)
+        col = int((p.x - self.base.min_x) / self.base.width * cols)
+        row = int((p.y - self.base.min_y) / self.base.height * rows)
+        col = min(max(col, 0), cols - 1)
+        row = min(max(row, 0), rows - 1)
+        return PyramidCell(level, col, row)
+
+    def children(self, cell: PyramidCell) -> Iterator[PyramidCell]:
+        """Children of ``cell`` at the next level, in raster-scan order.
+
+        Raster-scan means top row of children first — this order defines
+        the within-parent bit layout of the pyramid bitmap.
+        """
+        self._check_level(cell.level + 1)
+        base_col = cell.col * self.fan_cols
+        base_row = cell.row * self.fan_rows
+        for row_offset in range(self.fan_rows - 1, -1, -1):
+            for col_offset in range(self.fan_cols):
+                yield PyramidCell(cell.level + 1,
+                                  base_col + col_offset,
+                                  base_row + row_offset)
+
+    def parent(self, cell: PyramidCell) -> PyramidCell:
+        """Parent cell one level up; the root cell has no parent."""
+        if cell.level == 0:
+            raise ValueError("the root cell has no parent")
+        return PyramidCell(cell.level - 1,
+                           cell.col // self.fan_cols,
+                           cell.row // self.fan_rows)
+
+    def child_slot(self, cell: PyramidCell) -> int:
+        """Index of ``cell`` within its parent's raster-scan child order.
+
+        The client containment probe uses this to walk the serialized
+        bitmap: at each level it needs to know which of the parent's
+        ``U*V`` child bits corresponds to its position.
+        """
+        if cell.level == 0:
+            raise ValueError("the root cell has no slot")
+        col_offset = cell.col % self.fan_cols
+        row_offset = cell.row % self.fan_rows
+        # raster-scan: top row (largest row index) first
+        return (self.fan_rows - 1 - row_offset) * self.fan_cols + col_offset
+
+    def level_cells(self, level: int) -> Iterator[PyramidCell]:
+        """All cells of ``level`` in raster-scan order."""
+        cols, rows = self.grid_dims(level)
+        for row in range(rows - 1, -1, -1):
+            for col in range(cols):
+                yield PyramidCell(level, col, row)
+
+    def fanout(self) -> int:
+        """Number of children per cell (``U * V``)."""
+        return self.fan_cols * self.fan_rows
+
+    # ------------------------------------------------------------------
+    def _check_level(self, level: int) -> None:
+        if not (0 <= level <= self.height):
+            raise ValueError(
+                "level %d outside pyramid of height %d" % (level, self.height))

@@ -1,0 +1,19 @@
+"""Mobility substrate: motion model, vehicle simulator, traces."""
+
+from .io import load_traces, save_traces
+from .motion import MotionModel, SteadyMotionModel, UniformMotionModel
+from .simulator import MobilityConfig, TraceGenerator
+from .trace import Trace, TraceSample, TraceSet
+
+__all__ = [
+    "MobilityConfig",
+    "MotionModel",
+    "SteadyMotionModel",
+    "Trace",
+    "TraceGenerator",
+    "TraceSample",
+    "TraceSet",
+    "UniformMotionModel",
+    "load_traces",
+    "save_traces",
+]

@@ -1,0 +1,15 @@
+"""Road network substrate: graph model and synthetic map generator."""
+
+from .generator import NetworkConfig, generate_network
+from .graph import Edge, RoadClass, RoadNetwork
+from .io import load_network, save_network
+
+__all__ = [
+    "Edge",
+    "NetworkConfig",
+    "RoadClass",
+    "RoadNetwork",
+    "generate_network",
+    "load_network",
+    "save_network",
+]

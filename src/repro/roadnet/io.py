@@ -1,0 +1,103 @@
+"""Road-network persistence.
+
+The paper builds its trace on USGS map data; anyone reproducing with a
+*real* map needs a way in.  This module defines a minimal node/edge text
+format — easily produced from shapefile or OSM exports with a dozen
+lines of preprocessing — and round-trips the library's
+:class:`~repro.roadnet.RoadNetwork` through it.  Gzip-aware like the
+other dataset formats.
+
+Format::
+
+    #repro-roadnet v1
+    N <node_id> <x> <y>
+    ...
+    E <node_a> <node_b> <road_class>
+    ...
+
+Node ids must be dense and ascending (the writer guarantees it); edges
+reference previously declared nodes.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import os
+from typing import TextIO, Union
+
+from ..geometry import Point
+from .graph import RoadClass, RoadNetwork
+
+_HEADER = "#repro-roadnet v1"
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _open_text(path: PathLike, mode: str) -> TextIO:
+    if str(path).endswith(".gz"):
+        return io.TextIOWrapper(gzip.open(path, mode + "b"),
+                                encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_network(network: RoadNetwork, path: PathLike) -> None:
+    """Write ``network`` to ``path``."""
+    with _open_text(path, "w") as stream:
+        stream.write(_HEADER + "\n")
+        for node in network.nodes():
+            position = network.position(node)
+            stream.write("N %d %r %r\n" % (node, position.x, position.y))
+        for edge in network.edges():
+            stream.write("E %d %d %s\n" % (edge.node_a, edge.node_b,
+                                           edge.road_class.value))
+
+
+def load_network(path: PathLike) -> RoadNetwork:
+    """Read a network written by :func:`save_network`.
+
+    Raises ``ValueError`` on format violations: wrong header, non-dense
+    node ids, edges referencing unknown nodes or road classes.
+    """
+    network = RoadNetwork()
+    with _open_text(path, "r") as stream:
+        header = stream.readline().rstrip("\n")
+        if header != _HEADER:
+            raise ValueError("not a repro road-network file: %r"
+                             % header[:40])
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            kind = fields[0]
+            if kind == "N":
+                if len(fields) != 4:
+                    raise ValueError("line %d: malformed node" % line_number)
+                node_id = int(fields[1])
+                assigned = network.add_node(Point(float(fields[2]),
+                                                  float(fields[3])))
+                if assigned != node_id:
+                    raise ValueError(
+                        "line %d: node ids must be dense and ascending "
+                        "(expected %d, got %d)"
+                        % (line_number, assigned, node_id))
+            elif kind == "E":
+                if len(fields) != 4:
+                    raise ValueError("line %d: malformed edge" % line_number)
+                node_a = int(fields[1])
+                node_b = int(fields[2])
+                if not (0 <= node_a < network.node_count
+                        and 0 <= node_b < network.node_count):
+                    raise ValueError("line %d: edge references unknown node"
+                                     % line_number)
+                try:
+                    road_class = RoadClass(fields[3])
+                except ValueError as error:
+                    raise ValueError("line %d: unknown road class %r"
+                                     % (line_number, fields[3])) from error
+                network.add_edge(node_a, node_b, road_class)
+            else:
+                raise ValueError("line %d: unknown record type %r"
+                                 % (line_number, kind))
+    return network

@@ -1,0 +1,33 @@
+"""Safe-region computation: MWPSR, GBSR and PBSR (the paper's Sections 3-4)."""
+
+from .base import (FLOAT_BITS, RectangularSafeRegion, SafeRegion,
+                   region_is_safe)
+from .bitmap import (BitmapBuildStats, BitmapSafeRegion, LazyPyramidBitmap,
+                     PyramidBitmap, build_pyramid_bitmap, decode_bitstring)
+from .gbsr import GBSRComputer
+from .hu_baseline import HuBaselineComputer
+from .mwpsr import MWPSRComputer, MWPSRResult
+from .pbsr import PBSRComputer
+
+# imported last: ClientMonitor pulls in the wire codec, which needs the
+# bitmap types above
+from .containment import ClientMonitor  # noqa: E402
+
+__all__ = [
+    "BitmapBuildStats",
+    "BitmapSafeRegion",
+    "ClientMonitor",
+    "FLOAT_BITS",
+    "GBSRComputer",
+    "HuBaselineComputer",
+    "LazyPyramidBitmap",
+    "MWPSRComputer",
+    "MWPSRResult",
+    "PBSRComputer",
+    "PyramidBitmap",
+    "RectangularSafeRegion",
+    "SafeRegion",
+    "build_pyramid_bitmap",
+    "decode_bitstring",
+    "region_is_safe",
+]

@@ -1,0 +1,310 @@
+"""Bitmap-encoded safe regions (paper Section 4).
+
+A bitmap encoded safe region (BSR) represents the safe region of a grid
+cell as a hierarchy of bits over a pyramid decomposition: bit 1 means the
+cell belongs entirely to the safe region (it intersects no relevant alarm
+region), bit 0 means it does not, and — below the pyramid's maximum
+height — 0-cells are split into ``U x V`` children that get bits of their
+own.
+
+Serialization (the wire format whose length is the paper's *bitmap size*
+metric): the root bit first, then the children of every 0-cell in
+breadth-first emission order, each child block in raster-scan order (top
+row first, left to right).  This reproduces the paper's Fig. 3 numbers
+exactly — 82 bits for the 9x9 GBSR of Fig. 3(c), 64 bits for the
+height-2 PBSR of Fig. 3(d) — which the test suite asserts.
+
+The client-side containment probe needs only the bits along the path
+from the root to the leaf containing its position: O(h) bit probes per
+position fix, the paper's "predefined worst-case number of computations".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..geometry import Point, Rect, RectilinearRegion
+from ..index import Pyramid, PyramidCell
+
+
+class PyramidBitmap:
+    """Bit assignment over a pyramid decomposition of one base cell.
+
+    ``bits`` maps every *emitted* cell (the root plus all children of
+    0-cells above the maximum level) to its bit value.  Cells absent from
+    the mapping were never emitted because their ancestors are safe
+    (bit 1) — their space is part of the safe region by inheritance.
+    """
+
+    __slots__ = ("pyramid", "bits", "_emission_order")
+
+    def __init__(self, pyramid: Pyramid, bits: Dict[PyramidCell, int],
+                 emission_order: Sequence[PyramidCell]) -> None:
+        self.pyramid = pyramid
+        self.bits = bits
+        self._emission_order = list(emission_order)
+
+    # ------------------------------------------------------------------
+    # Size and serialization
+    # ------------------------------------------------------------------
+    def bit_length(self) -> int:
+        """Number of bits in the serialized representation."""
+        return len(self._emission_order)
+
+    def to_bitstring(self) -> str:
+        """The serialized bitmap as a string of '0'/'1' characters."""
+        return "".join(str(self.bits[cell]) for cell in self._emission_order)
+
+    # ------------------------------------------------------------------
+    # Containment
+    # ------------------------------------------------------------------
+    def probe(self, p: Point) -> Tuple[bool, int]:
+        """Is ``p`` inside the safe region?  Returns ``(inside, probes)``.
+
+        Walks from the root toward the leaf containing ``p``, stopping at
+        the first 1 bit (inside) or at an unsplit 0 bit (outside).  The
+        probe count is the number of levels examined — worst case
+        ``height + 1``.
+        """
+        if not self.pyramid.base.contains_point(p):
+            return (False, 1)
+        probes = 0
+        for level in range(self.pyramid.height + 1):
+            probes += 1
+            cell = self.pyramid.locate(p, level)
+            bit = self.bits.get(cell)
+            if bit is None:
+                # The cell was never emitted: an ancestor is safe.
+                return (True, probes)
+            if bit == 1:
+                return (True, probes)
+        return (False, probes)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def safe_cells(self) -> List[PyramidCell]:
+        """All emitted cells with bit 1 (the safe region's pieces)."""
+        return [cell for cell in self._emission_order
+                if self.bits[cell] == 1]
+
+    def to_region(self) -> RectilinearRegion:
+        """The safe region as a rectilinear polygon.
+
+        1-cells at different levels never overlap (children are emitted
+        only under 0-parents), so the pieces are interior-disjoint.
+        """
+        return RectilinearRegion(self.pyramid.cell_rect(cell)
+                                 for cell in self.safe_cells())
+
+    def coverage(self) -> float:
+        """The paper's coverage metric ``eta``: safe area / cell area."""
+        safe_area = sum(self.pyramid.cell_rect(cell).area
+                        for cell in self.safe_cells())
+        return safe_area / self.pyramid.base.area
+
+
+@dataclass(frozen=True)
+class BitmapBuildStats:
+    """Work counters from one bitmap construction (server cost model)."""
+
+    cells_tested: int
+    intersection_tests: int
+
+
+def build_pyramid_bitmap(pyramid: Pyramid, obstacles: Sequence[Rect],
+                         template: Optional[PyramidBitmap] = None,
+                         ) -> Tuple[PyramidBitmap, BitmapBuildStats]:
+    """Assign bits over ``pyramid`` for the given alarm ``obstacles``.
+
+    A cell is safe (bit 1) iff its interior intersects no obstacle's
+    interior; 0-cells above the maximum level are split.  Interior tests
+    mean an alarm merely touching a cell edge does not poison the cell —
+    consistent with interior-containment trigger semantics.
+
+    ``template`` is an optional precomputed bitmap over the *same*
+    pyramid built from a subset of the obstacles (in the paper: the
+    public alarms, precomputed offline per Section 4.2).  Cells the
+    template already marks 0 are 0 without re-testing the template's
+    obstacles; cells it marks 1 only need testing against the remaining
+    obstacles.  Pass the non-template obstacles in ``obstacles`` then.
+
+    Returns the bitmap plus work counters for the server cost model.
+    """
+    bits: Dict[PyramidCell, int] = {}
+    emission_order: List[PyramidCell] = []
+    cells_tested = 0
+    intersection_tests = 0
+
+    root = PyramidCell(0, 0, 0)
+    queue = deque([root])
+    while queue:
+        cell = queue.popleft()
+        rect = pyramid.cell_rect(cell)
+        cells_tested += 1
+
+        template_bit = None
+        if template is not None:
+            template_bit = template.bits.get(cell)
+
+        if template_bit == 0:
+            safe = False
+        else:
+            safe = True
+            for obstacle in obstacles:
+                intersection_tests += 1
+                if rect.interior_intersects(obstacle):
+                    safe = False
+                    break
+
+        bit = 1 if safe else 0
+        bits[cell] = bit
+        emission_order.append(cell)
+        if bit == 0 and cell.level < pyramid.height:
+            queue.extend(pyramid.children(cell))
+
+    bitmap = PyramidBitmap(pyramid, bits, emission_order)
+    return bitmap, BitmapBuildStats(cells_tested=cells_tested,
+                                    intersection_tests=intersection_tests)
+
+
+def decode_bitstring(pyramid: Pyramid, bitstring: str) -> PyramidBitmap:
+    """Reconstruct a :class:`PyramidBitmap` from its serialized form.
+
+    Inverse of :meth:`PyramidBitmap.to_bitstring`; raises ``ValueError``
+    when the string's length does not match the pyramid's split schedule.
+    """
+    bits: Dict[PyramidCell, int] = {}
+    emission_order: List[PyramidCell] = []
+    queue = deque([PyramidCell(0, 0, 0)])
+    cursor = 0
+    while queue:
+        cell = queue.popleft()
+        if cursor >= len(bitstring):
+            raise ValueError("bitstring too short for the pyramid")
+        char = bitstring[cursor]
+        if char not in "01":
+            raise ValueError("bitstring must contain only '0' and '1'")
+        bit = int(char)
+        cursor += 1
+        bits[cell] = bit
+        emission_order.append(cell)
+        if bit == 0 and cell.level < pyramid.height:
+            queue.extend(pyramid.children(cell))
+    if cursor != len(bitstring):
+        raise ValueError("bitstring longer than the pyramid requires")
+    return PyramidBitmap(pyramid, bits, emission_order)
+
+
+class LazyPyramidBitmap:
+    """Semantically identical to :class:`PyramidBitmap`, computed on demand.
+
+    The eager builder enumerates every emitted cell, which is exactly
+    what the serialized bitmap requires — but a cell deep inside a large
+    alarm region expands into ``fanout**h`` all-zero descendants, making
+    eager construction (and the simulation that rebuilds bitmaps on every
+    cell crossing) needlessly quadratic in alarm area.  This lazy variant
+    answers the three questions the protocol simulation actually asks —
+    *is this point safe* (``probe``), *how many bits would the wire
+    carry* (``bit_length``) and *how much area is safe* (``coverage``) —
+    without materializing the all-zero subtrees:
+
+    * ``probe`` walks root-to-leaf testing the located cell against the
+      obstacle list per level (identical verdict and probe count to the
+      eager bitmap, asserted by the test suite);
+    * ``bit_length`` recurses only into *partially* covered cells; a cell
+      fully inside a single obstacle contributes its all-zero subtree in
+      closed form (geometric series of the fanout).
+    """
+
+    __slots__ = ("pyramid", "obstacles", "_bit_length", "_safe_area")
+
+    def __init__(self, pyramid: Pyramid, obstacles: Sequence[Rect]) -> None:
+        self.pyramid = pyramid
+        self.obstacles = [obstacle for obstacle in obstacles
+                          if obstacle.interior_intersects(pyramid.base)]
+        self._bit_length: Optional[int] = None
+        self._safe_area: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def probe(self, p: Point) -> Tuple[bool, int]:
+        """Same contract as :meth:`PyramidBitmap.probe`."""
+        if not self.pyramid.base.contains_point(p):
+            return (False, 1)
+        relevant = self.obstacles
+        probes = 0
+        for level in range(self.pyramid.height + 1):
+            probes += 1
+            rect = self.pyramid.cell_rect(self.pyramid.locate(p, level))
+            relevant = [obstacle for obstacle in relevant
+                        if rect.interior_intersects(obstacle)]
+            if not relevant:
+                return (True, probes)
+        return (False, probes)
+
+    def bit_length(self) -> int:
+        if self._bit_length is None:
+            self._compute()
+        return self._bit_length  # type: ignore[return-value]
+
+    def coverage(self) -> float:
+        if self._safe_area is None:
+            self._compute()
+        return self._safe_area / self.pyramid.base.area  # type: ignore
+
+    # ------------------------------------------------------------------
+    def _compute(self) -> None:
+        fanout = self.pyramid.fanout()
+
+        def all_zero_subtree_bits(level: int) -> int:
+            """Bits of a fully-split all-zero subtree below ``level``."""
+            depth = self.pyramid.height - level
+            # Sum of fanout**d for d in 1..depth (the cell's own bit is
+            # counted by the caller).
+            return (fanout ** (depth + 1) - fanout) // (fanout - 1)
+
+        def visit(cell: PyramidCell,
+                  obstacles: List[Rect]) -> Tuple[int, float]:
+            rect = self.pyramid.cell_rect(cell)
+            binding = [obstacle for obstacle in obstacles
+                       if rect.interior_intersects(obstacle)]
+            if not binding:
+                return (1, rect.area)
+            if cell.level == self.pyramid.height:
+                return (1, 0.0)
+            if any(obstacle.contains_rect(rect) for obstacle in binding):
+                return (1 + all_zero_subtree_bits(cell.level), 0.0)
+            bits = 1
+            safe_area = 0.0
+            for child in self.pyramid.children(cell):
+                child_bits, child_area = visit(child, binding)
+                bits += child_bits
+                safe_area += child_area
+            return (bits, safe_area)
+
+        self._bit_length, self._safe_area = visit(PyramidCell(0, 0, 0),
+                                                  self.obstacles)
+
+
+class BitmapSafeRegion:
+    """A pyramid bitmap (eager or lazy) in the role of a client safe region."""
+
+    __slots__ = ("bitmap",)
+
+    def __init__(self, bitmap) -> None:
+        self.bitmap = bitmap
+
+    def probe(self, p: Point) -> Tuple[bool, int]:
+        return self.bitmap.probe(p)
+
+    def size_bits(self) -> int:
+        return self.bitmap.bit_length()
+
+    def area(self) -> float:
+        return self.bitmap.coverage() * self.bitmap.pyramid.base.area
+
+    def __repr__(self) -> str:
+        return ("BitmapSafeRegion(height=%d, bits=%d)"
+                % (self.bitmap.pyramid.height, self.bitmap.bit_length()))

@@ -1,0 +1,20 @@
+"""Alarm-processing strategies: the paper's approaches plus baselines."""
+
+from .adaptive import AdaptiveRectangularStrategy
+from .base import ClientState, ProcessingStrategy
+from .bitmap import BitmapSafeRegionStrategy
+from .optimal import OptimalStrategy
+from .periodic import PeriodicStrategy
+from .rectangular import RectangularSafeRegionStrategy
+from .safeperiod import SafePeriodStrategy
+
+__all__ = [
+    "AdaptiveRectangularStrategy",
+    "BitmapSafeRegionStrategy",
+    "ClientState",
+    "OptimalStrategy",
+    "PeriodicStrategy",
+    "ProcessingStrategy",
+    "RectangularSafeRegionStrategy",
+    "SafePeriodStrategy",
+]

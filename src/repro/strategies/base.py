@@ -1,0 +1,67 @@
+"""Processing-strategy interface.
+
+A *strategy* is one of the paper's alarm-processing approaches: it
+defines what the client does on every position fix, what it sends to the
+server, and what the server computes and ships back.  Both sides run
+in-process against the shared :class:`~repro.engine.server.AlarmServer`,
+whose metrics object records every message, probe and timed computation.
+
+Strategies must uphold the accuracy contract: every ground-truth trigger
+is delivered, at the sample where it occurs (verified by the engine).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..engine.server import AlarmServer
+from ..geometry import Rect
+from ..mobility import TraceSample
+
+
+class ClientState:
+    """Per-vehicle client-side state.
+
+    Strategies stash whatever the mobile device would hold — the current
+    safe region, a safe-period expiry, a local alarm list — on this
+    object; the attributes below cover all built-in strategies.
+    """
+
+    __slots__ = ("user_id", "safe_region", "cell_rect", "expiry",
+                 "local_alarms")
+
+    def __init__(self, user_id: int) -> None:
+        self.user_id = user_id
+        self.safe_region = None            # SafeRegion or None
+        self.cell_rect: Optional[Rect] = None
+        self.expiry: float = float("-inf")  # safe-period strategy
+        self.local_alarms: list = []        # optimal strategy
+
+    def __repr__(self) -> str:
+        return "ClientState(user_id=%d)" % self.user_id
+
+
+class ProcessingStrategy:
+    """Interface implemented by every alarm-processing approach."""
+
+    #: Short identifier used in reports ("PRD", "SP", "MWPSR", ...).
+    name: str = "?"
+
+    def attach(self, server: AlarmServer) -> None:
+        """Bind the strategy to the run's server before the first sample."""
+        self.server = server
+
+    def on_sample(self, client: ClientState, sample: TraceSample) -> None:
+        """Handle one position fix of one client."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _uplink_location(self) -> None:
+        self.server.receive_location(self.server.sizes.uplink_location)
+
+    def _charge_probe(self, ops: int) -> None:
+        metrics = self.server.metrics
+        metrics.containment_checks += 1
+        metrics.containment_ops += ops

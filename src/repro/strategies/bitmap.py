@@ -1,0 +1,92 @@
+"""Distributed processing with bitmap-encoded safe regions (GBSR/PBSR).
+
+The server ships a bitmap safe region covering the client's current base
+grid cell; the client walks the pyramid (O(h) bit probes per fix) to
+monitor itself.  Protocol events:
+
+* client leaves the base cell -> report; server evaluates triggers,
+  builds the bitmap for the new cell, ships it (this is the only event
+  that *requires* recomputation — Section 4.2);
+* client inside the cell but in an unsafe (bit 0) area -> report every
+  fix while there; the server evaluates triggers and, only when an alarm
+  actually fired, folds the fired alarm back into the safe region and
+  ships the updated bitmap (the paper's quick-update path);
+* client in a safe (bit 1) area -> silence.
+
+The frequent reports from unsafe areas are exactly why coarse bitmaps
+(GBSR) flood the server with messages while tall pyramids approach the
+rectangular strategies' message counts at higher client energy — the
+trade-off of Fig. 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..alarms import AlarmScope, SpatialAlarm
+from ..geometry import Rect
+from ..mobility import TraceSample
+from ..saferegion import PBSRComputer
+from .base import ClientState, ProcessingStrategy
+
+
+class BitmapSafeRegionStrategy(ProcessingStrategy):
+    """Safe region-based processing with pyramid bitmaps.
+
+    ``computer`` must provide ``compute(cell, public_obstacles,
+    personal_obstacles)`` — :class:`~repro.saferegion.PBSRComputer` (any
+    height; height 1 is the GBSR configuration) or
+    :class:`~repro.saferegion.GBSRComputer`.
+    """
+
+    def __init__(self, computer=None, name: str = "PBSR") -> None:
+        self.computer = computer if computer is not None else PBSRComputer()
+        self.name = name
+
+    def on_sample(self, client: ClientState, sample: TraceSample) -> None:
+        if (client.cell_rect is not None
+                and client.cell_rect.contains_point(sample.position)):
+            inside, ops = client.safe_region.probe(sample.position)
+            self._charge_probe(ops)
+            if inside:
+                return
+            # Unsafe area within the cell: report, but only re-ship the
+            # bitmap when a firing actually changed it.
+            self._uplink_location()
+            fired = self.server.process_location(client.user_id, sample.time,
+                                                 sample.position)
+            if fired:
+                self._ship_region(client, sample, client.cell_rect)
+            return
+
+        # Entered a new base cell (or first fix): full recomputation.
+        self._uplink_location()
+        self.server.process_location(client.user_id, sample.time,
+                                     sample.position)
+        cell = self.server.current_cell(sample.position)
+        self._ship_region(client, sample, cell)
+
+    # ------------------------------------------------------------------
+    def _ship_region(self, client: ClientState, sample: TraceSample,
+                     cell: Rect) -> None:
+        server = self.server
+        with server.timed_saferegion():
+            pending = server.pending_alarms_in(client.user_id, cell)
+            public, personal = _split_by_scope(pending)
+            region = self.computer.compute(cell, public, personal)
+        client.safe_region = region
+        client.cell_rect = cell
+        server.send_downlink(server.sizes.bitmap_message(region.size_bits()))
+
+
+def _split_by_scope(alarms: List[SpatialAlarm]
+                    ) -> Tuple[List[Rect], List[Rect]]:
+    """Partition pending alarms into (public, private/shared) regions."""
+    public: List[Rect] = []
+    personal: List[Rect] = []
+    for alarm in alarms:
+        if alarm.scope is AlarmScope.PUBLIC:
+            public.append(alarm.region)
+        else:
+            personal.append(alarm.region)
+    return public, personal

@@ -1,0 +1,24 @@
+"""Periodic evaluation (PRD) — the naive server-centric baseline.
+
+Every position fix is sent to the server and evaluated against the alarm
+index.  Trivially accurate (the evaluation frequency equals the trace
+frequency, so no alarm can be missed) and trivially non-scalable: the
+paper's full-scale workload produces about 60 million location messages
+per one-hour trace, every one of them processed by the server.
+"""
+
+from __future__ import annotations
+
+from ..mobility import TraceSample
+from .base import ClientState, ProcessingStrategy
+
+
+class PeriodicStrategy(ProcessingStrategy):
+    """Send every fix; the server evaluates every fix."""
+
+    name = "PRD"
+
+    def on_sample(self, client: ClientState, sample: TraceSample) -> None:
+        self._uplink_location()
+        self.server.process_location(client.user_id, sample.time,
+                                     sample.position)

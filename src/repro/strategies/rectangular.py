@@ -1,0 +1,85 @@
+"""Distributed processing with rectangular safe regions (MWPSR).
+
+The server computes a maximum (weighted) perimeter rectangular safe
+region for the client's current grid cell; the client monitors its own
+position against the rectangle (one comparison per fix) and contacts the
+server only when it exits.  Because the rectangle's interior excludes
+every pending relevant alarm region, the first sample inside any alarm
+region is necessarily outside the safe region — the client reports at
+exactly that sample, so accuracy is 100% with on-time triggers.
+
+Heading for the motion-weighted perimeter can come from either side of
+the protocol (``heading_source``): ``"client"`` ships the device's own
+heading in the location report (GPS chipsets provide it); ``"server"``
+derives it from the two most recent recorded positions — exactly the
+``l_s(t')`` to ``l_s(t)`` construction of the paper's Fig. 1(a) — and
+needs nothing beyond the position fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..geometry import Point
+from ..mobility import TraceSample
+from ..saferegion import MWPSRComputer
+from .base import ClientState, ProcessingStrategy
+
+
+class RectangularSafeRegionStrategy(ProcessingStrategy):
+    """Safe region-based processing with MWPSR rectangles.
+
+    ``computer`` selects the variant: weighted (steady-motion model) or
+    non-weighted (uniform model), greedy or exhaustive.
+    """
+
+    def __init__(self, computer: Optional[MWPSRComputer] = None,
+                 name: str = "MWPSR",
+                 heading_source: str = "client") -> None:
+        if heading_source not in ("client", "server"):
+            raise ValueError("heading_source must be 'client' or 'server'")
+        self.computer = computer if computer is not None else MWPSRComputer()
+        self.name = name
+        self.heading_source = heading_source
+        self._last_reported: Dict[int, Point] = {}
+
+    def attach(self, server) -> None:
+        super().attach(server)
+        self._last_reported = {}  # per-run server-side state
+
+    def on_sample(self, client: ClientState, sample: TraceSample) -> None:
+        if client.safe_region is not None:
+            inside, ops = client.safe_region.probe(sample.position)
+            self._charge_probe(ops)
+            if inside:
+                return
+
+        self._uplink_location()
+        server = self.server
+        server.process_location(client.user_id, sample.time, sample.position)
+        heading = self._heading_for(client.user_id, sample)
+        with server.timed_saferegion():
+            cell = server.current_cell(sample.position)
+            pending = server.pending_alarms_in(client.user_id, cell)
+            result = self.computer.compute(sample.position, heading,
+                                           cell,
+                                           [alarm.region
+                                            for alarm in pending])
+        client.safe_region = result.to_safe_region()
+        client.cell_rect = cell
+        server.send_downlink(server.sizes.rect_message())
+
+    def _heading_for(self, user_id: int, sample: TraceSample) -> float:
+        """Heading per the configured source.
+
+        Server-side estimation uses the previous *reported* position
+        (Fig. 1(a)); the first report of a client, having no history,
+        falls back to the device heading.
+        """
+        if self.heading_source == "client":
+            return sample.heading
+        previous = self._last_reported.get(user_id)
+        self._last_reported[user_id] = sample.position
+        if previous is None or previous == sample.position:
+            return sample.heading
+        return previous.heading_to(sample.position)

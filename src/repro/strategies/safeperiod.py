@@ -1,0 +1,55 @@
+"""Safe period-based evaluation (SP) — the server-centric baseline of
+Bamba et al., HiPC 2008 (reference [3] of the paper).
+
+On every location report the server computes a *safe period*: a lower
+bound on the time before the subscriber could possibly enter any pending
+relevant alarm region.  The client stays silent until the period
+expires.  The bound must be pessimistic to guarantee zero misses — the
+distance to the nearest pending alarm region divided by the maximum
+speed any subscriber can attain — which is exactly why SP sends the
+paper's observed 2-3x more messages than the safe-region approaches:
+near alarms the pessimistic period collapses to (almost) zero and the
+client effectively reverts to periodic reporting.
+
+No-miss argument: at report time ``t`` the nearest pending alarm is at
+distance ``d``, so the subscriber cannot be inside any alarm region
+before ``t + d/v_max``; the client reports again at the first sample at
+or after that instant, and by induction a report lands on every sample
+at which a trigger occurs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..mobility import TraceSample
+from .base import ClientState, ProcessingStrategy
+
+
+class SafePeriodStrategy(ProcessingStrategy):
+    """Safe-period processing with a system-wide maximum-speed bound."""
+
+    name = "SP"
+
+    def __init__(self, max_speed: float) -> None:
+        if max_speed <= 0:
+            raise ValueError("max_speed must be positive")
+        self.max_speed = max_speed
+
+    def on_sample(self, client: ClientState, sample: TraceSample) -> None:
+        # The client's only work while waiting is a timer comparison.
+        self._charge_probe(ops=1)
+        if sample.time < client.expiry:
+            return
+
+        self._uplink_location()
+        server = self.server
+        server.process_location(client.user_id, sample.time, sample.position)
+        with server.timed_saferegion():
+            distance = server.pending_nearest_distance(client.user_id,
+                                                       sample.position)
+        if math.isinf(distance):
+            client.expiry = math.inf
+        else:
+            client.expiry = sample.time + distance / self.max_speed
+        server.send_downlink(server.sizes.safe_period_message())

@@ -1,0 +1,63 @@
+"""Tests for the spatial alarm model: scopes and relevance."""
+
+import pytest
+
+from repro.alarms import AlarmScope, SpatialAlarm
+from repro.geometry import Rect
+
+REGION = Rect(0, 0, 100, 100)
+
+
+class TestScopes:
+    def test_private_relevant_to_owner_only(self):
+        alarm = SpatialAlarm(1, REGION, AlarmScope.PRIVATE, owner_id=7)
+        assert alarm.is_relevant_to(7)
+        assert not alarm.is_relevant_to(8)
+
+    def test_shared_relevant_to_subscribers_and_owner(self):
+        alarm = SpatialAlarm(1, REGION, AlarmScope.SHARED, owner_id=7,
+                             subscribers=frozenset({1, 2}))
+        assert alarm.is_relevant_to(1)
+        assert alarm.is_relevant_to(2)
+        assert alarm.is_relevant_to(7)
+        assert not alarm.is_relevant_to(3)
+
+    def test_public_relevant_to_all(self):
+        alarm = SpatialAlarm(1, REGION, AlarmScope.PUBLIC, owner_id=7)
+        assert alarm.is_relevant_to(7)
+        assert alarm.is_relevant_to(12345)
+
+    def test_shared_requires_subscribers(self):
+        with pytest.raises(ValueError):
+            SpatialAlarm(1, REGION, AlarmScope.SHARED, owner_id=7)
+
+    def test_private_forbids_subscribers(self):
+        with pytest.raises(ValueError):
+            SpatialAlarm(1, REGION, AlarmScope.PRIVATE, owner_id=7,
+                         subscribers=frozenset({2}))
+
+    def test_subscriber_set(self):
+        users = frozenset(range(10))
+        private = SpatialAlarm(1, REGION, AlarmScope.PRIVATE, owner_id=3)
+        shared = SpatialAlarm(2, REGION, AlarmScope.SHARED, owner_id=3,
+                              subscribers=frozenset({4, 5}))
+        public = SpatialAlarm(3, REGION, AlarmScope.PUBLIC, owner_id=3)
+        assert private.subscriber_set(users) == frozenset({3})
+        assert shared.subscriber_set(users) == frozenset({3, 4, 5})
+        assert public.subscriber_set(users) == users
+
+
+class TestRelocation:
+    def test_with_region_preserves_identity(self):
+        alarm = SpatialAlarm(9, REGION, AlarmScope.SHARED, owner_id=7,
+                             subscribers=frozenset({1}), moving_target=True,
+                             label="bus 42")
+        moved = alarm.with_region(Rect(50, 50, 150, 150))
+        assert moved.alarm_id == 9
+        assert moved.region == Rect(50, 50, 150, 150)
+        assert moved.scope is AlarmScope.SHARED
+        assert moved.subscribers == frozenset({1})
+        assert moved.moving_target
+        assert moved.label == "bus 42"
+        # the original is untouched (immutability)
+        assert alarm.region == REGION

@@ -1,0 +1,123 @@
+"""Correctness tests for the per-cell alarm cache."""
+
+import random
+
+import pytest
+
+from repro.alarms import (AlarmRegistry, AlarmScope, CellAlarmCache,
+                          install_random_alarms)
+from repro.geometry import Point, Rect
+from repro.index import CellId, GridOverlay
+
+UNIVERSE = Rect(0, 0, 8000, 8000)
+
+
+@pytest.fixture
+def setup():
+    registry = AlarmRegistry()
+    install_random_alarms(registry, UNIVERSE, 300, list(range(10)), seed=3)
+    grid = GridOverlay(UNIVERSE, cell_area_km2=4.0)
+    cache = CellAlarmCache(registry, grid)
+    return registry, grid, cache
+
+
+def fresh_answer(registry, grid, user_id, cell, exclude=None):
+    return registry.relevant_intersecting(user_id, grid.cell_rect(cell),
+                                          exclude_ids=exclude)
+
+
+class TestCacheCorrectness:
+    def test_matches_fresh_queries(self, setup):
+        registry, grid, cache = setup
+        for col in range(grid.columns):
+            for row in range(grid.rows):
+                cell = CellId(col, row)
+                for user in (0, 5):
+                    assert cache.relevant_pending(user, cell) == \
+                        fresh_answer(registry, grid, user, cell)
+
+    def test_hits_after_first_query(self, setup):
+        registry, grid, cache = setup
+        cell = CellId(1, 1)
+        cache.relevant_pending(0, cell)
+        cache.relevant_pending(1, cell)
+        cache.relevant_pending(2, cell)
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_exclusions_applied(self, setup):
+        registry, grid, cache = setup
+        cell = CellId(0, 0)
+        full = cache.relevant_pending(0, cell)
+        if not full:
+            pytest.skip("no alarms in this cell for user 0")
+        excluded = {full[0].alarm_id}
+        remaining = cache.relevant_pending(0, cell, exclude_ids=excluded)
+        assert full[0] not in remaining
+        assert remaining == fresh_answer(registry, grid, 0, cell, excluded)
+
+
+class TestCacheInvalidation:
+    def test_install_invalidates_touched_cells(self, setup):
+        registry, grid, cache = setup
+        cell = CellId(2, 2)
+        before = cache.relevant_pending(0, cell)
+        rect = grid.cell_rect(cell)
+        alarm = registry.install(
+            Rect.from_center(rect.center, 100, 100), AlarmScope.PUBLIC, 1)
+        after = cache.relevant_pending(0, cell)
+        assert alarm in after
+        assert after == fresh_answer(registry, grid, 0, cell)
+        assert len(after) == len(before) + 1
+
+    def test_remove_invalidates(self, setup):
+        registry, grid, cache = setup
+        cell = CellId(3, 3)
+        rect = grid.cell_rect(cell)
+        alarm = registry.install(
+            Rect.from_center(rect.center, 100, 100), AlarmScope.PUBLIC, 1)
+        assert alarm in cache.relevant_pending(0, cell)
+        registry.remove(alarm.alarm_id)
+        assert alarm not in cache.relevant_pending(0, cell)
+
+    def test_relocate_invalidates_both_cells(self, setup):
+        registry, grid, cache = setup
+        source = CellId(0, 0)
+        target = CellId(3, 0)
+        alarm = registry.install(
+            Rect.from_center(grid.cell_rect(source).center, 80, 80),
+            AlarmScope.PUBLIC, 1, moving_target=True)
+        assert alarm in cache.relevant_pending(0, source)
+        cache.relevant_pending(0, target)
+        moved = registry.relocate(
+            alarm.alarm_id,
+            Rect.from_center(grid.cell_rect(target).center, 80, 80))
+        assert moved not in cache.relevant_pending(0, source)
+        assert moved in cache.relevant_pending(0, target)
+
+    def test_randomized_mutations_stay_consistent(self, setup):
+        registry, grid, cache = setup
+        rng = random.Random(7)
+        live = []
+        for step in range(120):
+            action = rng.random()
+            if action < 0.5 or not live:
+                x = rng.uniform(0, 7800)
+                y = rng.uniform(0, 7800)
+                alarm = registry.install(Rect(x, y, x + 150, y + 150),
+                                         AlarmScope.PUBLIC, 1)
+                live.append(alarm)
+            else:
+                victim = live.pop(rng.randrange(len(live)))
+                registry.remove(victim.alarm_id)
+            cell = CellId(rng.randrange(grid.columns),
+                          rng.randrange(grid.rows))
+            assert cache.relevant_pending(3, cell) == \
+                fresh_answer(registry, grid, 3, cell)
+
+    def test_invalidate_all(self, setup):
+        registry, grid, cache = setup
+        cache.relevant_pending(0, CellId(0, 0))
+        assert cache.cached_cells == 1
+        cache.invalidate_all()
+        assert cache.cached_cells == 0

@@ -1,0 +1,81 @@
+"""Round-trip tests for alarm workload persistence."""
+
+import pytest
+
+from repro.alarms import (AlarmRegistry, AlarmScope, install_random_alarms,
+                          load_alarms, save_alarms)
+from repro.geometry import Point, Rect
+
+UNIVERSE = Rect(0, 0, 5000, 5000)
+
+
+def alarm_fingerprint(registry):
+    return [(a.region, a.scope, a.owner_id, a.subscribers, a.moving_target,
+             a.label) for a in registry.all_alarms()]
+
+
+class TestRoundTrip:
+    def test_random_workload(self, tmp_path):
+        registry = AlarmRegistry()
+        install_random_alarms(registry, UNIVERSE, 150, list(range(10)),
+                              seed=4)
+        path = tmp_path / "alarms.jsonl"
+        save_alarms(registry, path)
+        loaded = load_alarms(path)
+        assert alarm_fingerprint(loaded) == alarm_fingerprint(registry)
+
+    def test_gzip(self, tmp_path):
+        registry = AlarmRegistry()
+        registry.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1)
+        path = tmp_path / "alarms.jsonl.gz"
+        save_alarms(registry, path)
+        loaded = load_alarms(path)
+        assert len(loaded) == 1
+
+    def test_all_fields_survive(self, tmp_path):
+        registry = AlarmRegistry()
+        registry.install(Rect(1, 2, 3, 4), AlarmScope.SHARED, owner_id=7,
+                         subscribers=[3, 5], moving_target=True,
+                         label="school bus")
+        path = tmp_path / "a.jsonl"
+        save_alarms(registry, path)
+        (alarm,) = load_alarms(path).all_alarms()
+        assert alarm.region == Rect(1, 2, 3, 4)
+        assert alarm.scope is AlarmScope.SHARED
+        assert alarm.owner_id == 7
+        assert alarm.subscribers == frozenset({3, 5})
+        assert alarm.moving_target
+        assert alarm.label == "school bus"
+
+    def test_load_into_existing_registry(self, tmp_path):
+        source = AlarmRegistry()
+        source.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1)
+        path = tmp_path / "a.jsonl"
+        save_alarms(source, path)
+        target = AlarmRegistry()
+        target.install(Rect(50, 50, 60, 60), AlarmScope.PRIVATE, 2)
+        load_alarms(path, registry=target)
+        assert len(target) == 2
+        # the loaded alarm is queryable through the index
+        assert target.triggered_at(9, Point(5, 5)) != []
+
+
+class TestValidation:
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "junk.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError):
+            load_alarms(path)
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"format": "repro-alarms", "version": 99}\n')
+        with pytest.raises(ValueError):
+            load_alarms(path)
+
+    def test_rejects_malformed_record(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"format": "repro-alarms", "version": 1}\n'
+                        '{"region": [1, 2], "scope": "public"}\n')
+        with pytest.raises(ValueError):
+            load_alarms(path)

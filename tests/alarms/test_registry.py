@@ -1,0 +1,199 @@
+"""Tests for the alarm registry: lifecycle, relevance queries, workload."""
+
+import math
+
+import pytest
+
+from repro.alarms import (AlarmRegistry, AlarmScope,
+                          install_clustered_alarms, install_random_alarms)
+from repro.geometry import Point, Rect
+
+UNIVERSE = Rect(0, 0, 10000, 10000)
+
+
+@pytest.fixture
+def registry():
+    return AlarmRegistry()
+
+
+class TestLifecycle:
+    def test_install_assigns_dense_ids(self, registry):
+        first = registry.install(Rect(0, 0, 10, 10), AlarmScope.PRIVATE, 1)
+        second = registry.install(Rect(5, 5, 15, 15), AlarmScope.PUBLIC, 2)
+        assert (first.alarm_id, second.alarm_id) == (0, 1)
+        assert len(registry) == 2
+        assert registry.get(0) is first
+
+    def test_remove(self, registry):
+        alarm = registry.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1)
+        assert registry.remove(alarm.alarm_id)
+        assert len(registry) == 0
+        assert not registry.remove(alarm.alarm_id)
+
+    def test_relocate(self, registry):
+        alarm = registry.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1,
+                                 moving_target=True)
+        moved = registry.relocate(alarm.alarm_id, Rect(100, 100, 120, 120))
+        assert moved.region == Rect(100, 100, 120, 120)
+        assert registry.triggered_at(5, Point(110, 110)) == [moved]
+        assert registry.triggered_at(5, Point(5, 5)) == []
+
+
+class TestQueries:
+    def test_triggered_at_uses_interior(self, registry):
+        registry.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1)
+        assert registry.triggered_at(2, Point(5, 5)) != []
+        assert registry.triggered_at(2, Point(0, 5)) == []  # boundary
+
+    def test_triggered_respects_relevance(self, registry):
+        registry.install(Rect(0, 0, 10, 10), AlarmScope.PRIVATE, 1)
+        assert registry.triggered_at(1, Point(5, 5)) != []
+        assert registry.triggered_at(2, Point(5, 5)) == []
+
+    def test_triggered_respects_exclusions(self, registry):
+        alarm = registry.install(Rect(0, 0, 10, 10), AlarmScope.PUBLIC, 1)
+        assert registry.triggered_at(2, Point(5, 5),
+                                     exclude_ids={alarm.alarm_id}) == []
+
+    def test_relevant_intersecting_open_test(self, registry):
+        registry.install(Rect(10, 0, 20, 10), AlarmScope.PUBLIC, 1)
+        # query touching only along the edge x=10 sees nothing
+        assert registry.relevant_intersecting(2, Rect(0, 0, 10, 10)) == []
+        assert registry.relevant_intersecting(2, Rect(0, 0, 11, 10)) != []
+
+    def test_nearest_relevant_distance(self, registry):
+        registry.install(Rect(100, 0, 110, 10), AlarmScope.PUBLIC, 1)
+        registry.install(Rect(0, 50, 10, 60), AlarmScope.PRIVATE, 1)
+        # user 2 sees only the public alarm
+        assert registry.nearest_relevant_distance(2, Point(0, 0)) == \
+            pytest.approx(100.0)
+        # user 1 also sees the private one, which is closer
+        assert registry.nearest_relevant_distance(1, Point(0, 0)) == \
+            pytest.approx(math.hypot(0, 50))
+
+    def test_nearest_with_no_alarms_is_inf(self, registry):
+        assert registry.nearest_relevant_distance(1, Point(0, 0)) == math.inf
+
+    def test_nearest_respects_exclusions(self, registry):
+        close = registry.install(Rect(10, 0, 20, 10), AlarmScope.PUBLIC, 1)
+        registry.install(Rect(100, 0, 110, 10), AlarmScope.PUBLIC, 1)
+        assert registry.nearest_relevant_distance(
+            2, Point(0, 5), exclude_ids={close.alarm_id}) == \
+            pytest.approx(100.0)
+
+
+class TestRandomWorkload:
+    def test_counts_and_scope_mix(self, registry):
+        users = list(range(50))
+        installed = install_random_alarms(registry, UNIVERSE, 1000, users,
+                                          public_fraction=0.10, seed=1)
+        assert len(installed) == 1000
+        assert len(registry) == 1000
+        by_scope = {scope: 0 for scope in AlarmScope}
+        for alarm in installed:
+            by_scope[alarm.scope] += 1
+        total = sum(by_scope.values())
+        assert by_scope[AlarmScope.PUBLIC] / total == pytest.approx(0.10,
+                                                                    abs=0.03)
+        # private:shared defaults to 2:1
+        ratio = by_scope[AlarmScope.PRIVATE] / max(
+            by_scope[AlarmScope.SHARED], 1)
+        assert 1.5 < ratio < 2.7
+
+    def test_regions_inside_universe(self, registry):
+        installed = install_random_alarms(registry, UNIVERSE, 200,
+                                          [1, 2, 3], seed=2)
+        for alarm in installed:
+            assert UNIVERSE.contains_rect(alarm.region)
+
+    def test_sizes_in_range(self, registry):
+        installed = install_random_alarms(registry, UNIVERSE, 200, [1],
+                                          min_side_m=100, max_side_m=200,
+                                          seed=3)
+        for alarm in installed:
+            assert alarm.region.width <= 200 + 1e-9
+            assert alarm.region.height <= 200 + 1e-9
+
+    def test_deterministic(self):
+        first = AlarmRegistry()
+        second = AlarmRegistry()
+        a = install_random_alarms(first, UNIVERSE, 100, [1, 2], seed=9)
+        b = install_random_alarms(second, UNIVERSE, 100, [1, 2], seed=9)
+        assert [(x.region, x.scope, x.owner_id) for x in a] == \
+            [(x.region, x.scope, x.owner_id) for x in b]
+
+    def test_validation(self, registry):
+        with pytest.raises(ValueError):
+            install_random_alarms(registry, UNIVERSE, 10, [])
+        with pytest.raises(ValueError):
+            install_random_alarms(registry, UNIVERSE, 10, [1],
+                                  public_fraction=1.5)
+
+
+class TestRebuildIndex:
+    def test_queries_unchanged_after_rebuild(self):
+        registry = AlarmRegistry()
+        install_random_alarms(registry, UNIVERSE, 300, list(range(10)),
+                              seed=5)
+        probe_points = [Point(137.0 * k % 10000, 211.0 * k % 10000)
+                        for k in range(40)]
+        before = [sorted(a.alarm_id for a in registry.triggered_at(3, p))
+                  for p in probe_points]
+        registry.rebuild_index()
+        registry.tree.validate()
+        after = [sorted(a.alarm_id for a in registry.triggered_at(3, p))
+                 for p in probe_points]
+        assert before == after
+
+    def test_rebuild_supports_further_updates(self):
+        registry = AlarmRegistry()
+        install_random_alarms(registry, UNIVERSE, 50, [1], seed=6)
+        registry.rebuild_index()
+        alarm = registry.install(Rect(1, 1, 5, 5), AlarmScope.PUBLIC, 1)
+        assert registry.remove(alarm.alarm_id)
+        registry.tree.validate()
+
+
+class TestClusteredWorkload:
+    def test_counts_and_containment(self):
+        registry = AlarmRegistry()
+        installed = install_clustered_alarms(registry, UNIVERSE, 400,
+                                             list(range(20)), seed=11)
+        assert len(installed) == 400
+        for alarm in installed:
+            assert UNIVERSE.contains_rect(alarm.region)
+
+    def test_more_clustered_than_uniform(self):
+        """Hotspot placement concentrates alarms in a few grid cells."""
+        from repro.index import GridOverlay
+
+        def occupancy_spread(installer, seed):
+            registry = AlarmRegistry()
+            installed = installer(registry, UNIVERSE, 500, [1], seed=seed)
+            grid = GridOverlay(UNIVERSE, cell_area_km2=4.0)
+            counts = {}
+            for alarm in installed:
+                cell = grid.cell_of(alarm.region.center)
+                counts[cell] = counts.get(cell, 0) + 1
+            mean = 500 / grid.cell_count
+            return max(counts.values()) / mean
+
+        clustered = occupancy_spread(install_clustered_alarms, 13)
+        uniform = occupancy_spread(install_random_alarms, 13)
+        assert clustered > uniform * 1.5
+
+    def test_background_fraction_one_is_uniformish(self):
+        registry = AlarmRegistry()
+        installed = install_clustered_alarms(registry, UNIVERSE, 100, [1],
+                                             background_fraction=1.0,
+                                             seed=14)
+        assert len(installed) == 100
+
+    def test_validation(self):
+        registry = AlarmRegistry()
+        with pytest.raises(ValueError):
+            install_clustered_alarms(registry, UNIVERSE, 10, [1],
+                                     hotspot_count=0)
+        with pytest.raises(ValueError):
+            install_clustered_alarms(registry, UNIVERSE, 10, [1],
+                                     background_fraction=2.0)

@@ -1,0 +1,161 @@
+"""Tests for dynamic alarm lifecycle: mid-run installs/removals with
+push invalidation, and the accuracy contract under alarm lifetimes."""
+
+import math
+
+import pytest
+
+from repro.alarms import AlarmScope
+from repro.engine import (AlarmSchedule, InstallAction, RemoveAction,
+                          compute_dynamic_ground_truth,
+                          run_dynamic_simulation)
+from repro.geometry import Rect
+from repro.saferegion import MWPSRComputer, PBSRComputer
+from repro.strategies import (BitmapSafeRegionStrategy, OptimalStrategy,
+                              PeriodicStrategy,
+                              RectangularSafeRegionStrategy,
+                              SafePeriodStrategy)
+from ..strategies.conftest import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    # start with few alarms so mid-run installs carry the weight
+    return make_world(vehicles=8, duration=150.0, alarms=40,
+                      public_fraction=0.3)
+
+
+def crossing_installs(world, count=12, at_time=40.0):
+    """Install public alarms squarely on positions vehicles will visit.
+
+    Anchoring each alarm on a trace position *after* the install time
+    guarantees triggers that only a correct dynamic implementation will
+    deliver.
+    """
+    actions = []
+    vehicles = world.traces.vehicle_ids()
+    for index in range(count):
+        trace = world.traces[vehicles[index % len(vehicles)]]
+        anchor = trace[min(len(trace) - 1,
+                           int(at_time) + 20 + 7 * index)].position
+        region = Rect.from_center(anchor, 150.0, 150.0)
+        clipped = region.intersection(world.universe)
+        actions.append(InstallAction(time=at_time + index, region=clipped,
+                                     scope=AlarmScope.PUBLIC, owner_id=0))
+    return actions
+
+
+def all_strategies(world):
+    return [
+        PeriodicStrategy(),
+        SafePeriodStrategy(max_speed=world.max_speed()),
+        RectangularSafeRegionStrategy(MWPSRComputer(), name="MWPSR"),
+        BitmapSafeRegionStrategy(PBSRComputer(height=4), name="PBSR"),
+        OptimalStrategy(),
+    ]
+
+
+class TestSchedule:
+    def test_actions_sorted(self):
+        schedule = AlarmSchedule([
+            InstallAction(10.0, Rect(0, 0, 1, 1), AlarmScope.PUBLIC, 0),
+            InstallAction(5.0, Rect(0, 0, 1, 1), AlarmScope.PUBLIC, 0),
+        ])
+        assert [action.time for action in schedule.actions] == [5.0, 10.0]
+
+    def test_due_window(self):
+        schedule = AlarmSchedule([
+            InstallAction(5.0, Rect(0, 0, 1, 1), AlarmScope.PUBLIC, 0),
+            InstallAction(10.0, Rect(0, 0, 1, 1), AlarmScope.PUBLIC, 0),
+        ])
+        assert len(schedule.due(0.0, 7.0)) == 1
+        assert len(schedule.due(7.0, 20.0)) == 1
+        assert schedule.due(20.0, 30.0) == []
+
+    def test_removal_validation(self):
+        with pytest.raises(ValueError):
+            RemoveAction(time=1.0)
+        with pytest.raises(ValueError):
+            RemoveAction(time=1.0, install_index=0, alarm_id=5)
+        with pytest.raises(ValueError):
+            AlarmSchedule([RemoveAction(time=1.0, install_index=0)])
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(TypeError):
+            AlarmSchedule(["not an action"])
+
+
+class TestDynamicGroundTruth:
+    def test_installed_alarm_triggers_only_after_install(self, world):
+        vehicle = world.traces.vehicle_ids()[0]
+        trace = world.traces[vehicle]
+        # an alarm sitting on the vehicle's position at t=100, installed
+        # at t=90: it must not trigger from the earlier pass (if any)
+        region = Rect.from_center(trace[100].position, 120.0, 120.0)
+        schedule = AlarmSchedule([InstallAction(90.0, region,
+                                                AlarmScope.PUBLIC, 0)])
+        expected = compute_dynamic_ground_truth(world, schedule)
+        times = [when for (user, _), when in expected.items()
+                 if user == vehicle]
+        assert times and all(when >= 90.0 for when in times)
+
+    def test_removed_alarm_cannot_trigger_after_removal(self, world):
+        vehicle = world.traces.vehicle_ids()[0]
+        trace = world.traces[vehicle]
+        region = Rect.from_center(trace[100].position, 120.0, 120.0)
+        schedule = AlarmSchedule([
+            InstallAction(10.0, region, AlarmScope.PUBLIC, 0),
+            RemoveAction(95.0, install_index=0),
+        ])
+        expected = compute_dynamic_ground_truth(world, schedule)
+        # the scheduled alarm gets the next id after the preinstalled ones
+        scheduled_id = len(world.registry)
+        times = [when for (_, alarm_id), when in expected.items()
+                 if alarm_id == scheduled_id]
+        # unless a vehicle crossed the region in [10, 95), no trigger of
+        # the scheduled alarm exists; any that do exist predate removal
+        assert all(when < 95.0 for when in times)
+
+
+class TestDynamicAccuracy:
+    def test_all_strategies_catch_mid_run_installs(self, world):
+        schedule = AlarmSchedule(crossing_installs(world))
+        expected = compute_dynamic_ground_truth(world, schedule)
+        new_ids = {key for key in expected
+                   if key[1] >= len(world.registry)}
+        assert new_ids, "installs must create catchable triggers"
+        for strategy in all_strategies(world):
+            result = run_dynamic_simulation(world, strategy, schedule)
+            assert result.accuracy.perfect, (
+                "%s: %r" % (strategy.name, result.accuracy))
+
+    def test_removal_prevents_spurious_opt_triggers(self, world):
+        vehicle = world.traces.vehicle_ids()[1]
+        trace = world.traces[vehicle]
+        region = Rect.from_center(trace[120].position, 150.0, 150.0)
+        schedule = AlarmSchedule([
+            InstallAction(20.0, region, AlarmScope.PUBLIC, 0),
+            RemoveAction(110.0, install_index=0),
+        ])
+        result = run_dynamic_simulation(world, OptimalStrategy(), schedule)
+        assert result.accuracy.spurious == 0
+        assert result.accuracy.perfect
+
+    def test_invalidation_pushes_counted(self, world):
+        schedule = AlarmSchedule(crossing_installs(world, count=6))
+        strategy = SafePeriodStrategy(max_speed=world.max_speed())
+        result = run_dynamic_simulation(world, strategy, schedule)
+        # safe-period clients are invalidated on every relevant install
+        assert result.metrics.downlink_messages > 0
+        assert result.accuracy.perfect
+
+    def test_world_registry_untouched(self, world):
+        before = len(world.registry)
+        schedule = AlarmSchedule(crossing_installs(world, count=4))
+        run_dynamic_simulation(world, PeriodicStrategy(), schedule)
+        assert len(world.registry) == before
+
+    def test_empty_schedule_matches_static_ground_truth(self, world):
+        schedule = AlarmSchedule([])
+        expected = compute_dynamic_ground_truth(world, schedule)
+        assert expected == world.ground_truth()

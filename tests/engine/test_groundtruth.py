@@ -1,0 +1,104 @@
+"""Tests for ground-truth computation and accuracy scoring."""
+
+import pytest
+
+from repro.alarms import AlarmRegistry, AlarmScope
+from repro.engine import (Metrics, TriggerEvent, compute_ground_truth,
+                          verify_accuracy)
+from repro.geometry import Point, Rect
+from repro.mobility import Trace, TraceSample, TraceSet
+
+
+def make_traces(positions_by_vehicle):
+    traces = {}
+    for vid, positions in positions_by_vehicle.items():
+        samples = [TraceSample(float(k), p, 0.0, 10.0)
+                   for k, p in enumerate(positions)]
+        traces[vid] = Trace(vid, samples)
+    return TraceSet(traces, sample_interval=1.0)
+
+
+class TestGroundTruth:
+    def test_first_entry_wins(self):
+        registry = AlarmRegistry()
+        alarm = registry.install(Rect(100, 0, 200, 50), AlarmScope.PUBLIC, 1)
+        traces = make_traces({0: [Point(50, 25), Point(150, 25),
+                                  Point(160, 25)]})
+        expected = compute_ground_truth(registry, traces)
+        assert expected == {(0, alarm.alarm_id): 1.0}
+
+    def test_boundary_does_not_trigger(self):
+        registry = AlarmRegistry()
+        registry.install(Rect(100, 0, 200, 50), AlarmScope.PUBLIC, 1)
+        traces = make_traces({0: [Point(100, 25), Point(100, 0)]})
+        assert compute_ground_truth(registry, traces) == {}
+
+    def test_relevance_respected(self):
+        registry = AlarmRegistry()
+        alarm = registry.install(Rect(100, 0, 200, 50), AlarmScope.PRIVATE, 5)
+        traces = make_traces({0: [Point(150, 25)], 5: [Point(150, 25)]})
+        expected = compute_ground_truth(registry, traces)
+        assert expected == {(5, alarm.alarm_id): 0.0}
+
+    def test_multiple_alarms_and_vehicles(self):
+        registry = AlarmRegistry()
+        a = registry.install(Rect(0, 0, 50, 50), AlarmScope.PUBLIC, 1)
+        b = registry.install(Rect(100, 100, 150, 150), AlarmScope.PUBLIC, 1)
+        traces = make_traces({
+            0: [Point(25, 25), Point(125, 125)],
+            1: [Point(500, 500), Point(125, 125)],
+        })
+        expected = compute_ground_truth(registry, traces)
+        assert expected == {(0, a.alarm_id): 0.0, (0, b.alarm_id): 1.0,
+                            (1, b.alarm_id): 1.0}
+
+
+class TestVerifyAccuracy:
+    EXPECTED = {(0, 1): 5.0, (0, 2): 8.0, (1, 1): 3.0}
+
+    def test_perfect(self):
+        metrics = Metrics(triggers=[TriggerEvent(5.0, 0, 1),
+                                    TriggerEvent(8.0, 0, 2),
+                                    TriggerEvent(3.0, 1, 1)])
+        report = verify_accuracy(self.EXPECTED, metrics)
+        assert report.perfect
+        assert report.recall == 1.0
+        assert report.expected == 3
+
+    def test_missed(self):
+        metrics = Metrics(triggers=[TriggerEvent(5.0, 0, 1)])
+        report = verify_accuracy(self.EXPECTED, metrics)
+        assert report.missed == 2
+        assert report.recall == pytest.approx(1 / 3)
+        assert not report.perfect
+
+    def test_spurious(self):
+        metrics = Metrics(triggers=[TriggerEvent(5.0, 0, 1),
+                                    TriggerEvent(8.0, 0, 2),
+                                    TriggerEvent(3.0, 1, 1),
+                                    TriggerEvent(1.0, 9, 9)])
+        report = verify_accuracy(self.EXPECTED, metrics)
+        assert report.spurious == 1
+        assert not report.perfect
+
+    def test_late(self):
+        metrics = Metrics(triggers=[TriggerEvent(6.0, 0, 1),
+                                    TriggerEvent(8.0, 0, 2),
+                                    TriggerEvent(3.0, 1, 1)])
+        report = verify_accuracy(self.EXPECTED, metrics)
+        assert report.late == 1
+        assert report.missed == 0
+        assert not report.perfect
+
+    def test_duplicate_delivery_keeps_first(self):
+        metrics = Metrics(triggers=[TriggerEvent(5.0, 0, 1),
+                                    TriggerEvent(7.0, 0, 1),
+                                    TriggerEvent(8.0, 0, 2),
+                                    TriggerEvent(3.0, 1, 1)])
+        report = verify_accuracy(self.EXPECTED, metrics)
+        assert report.perfect
+
+    def test_empty_expected_recall_is_one(self):
+        report = verify_accuracy({}, Metrics())
+        assert report.recall == 1.0
+        assert report.perfect

@@ -1,0 +1,80 @@
+"""Tests for metrics, network sizing and the energy model."""
+
+import pytest
+
+from repro.engine import (EnergyModel, MessageSizes, Metrics,
+                          RADIO_ENERGY_MODEL, TriggerEvent)
+
+
+class TestMetrics:
+    def test_defaults_zero(self):
+        metrics = Metrics()
+        assert metrics.uplink_messages == 0
+        assert metrics.server_time_s == 0.0
+        assert metrics.triggers == []
+
+    def test_server_time_sums_components(self):
+        metrics = Metrics(alarm_processing_time_s=1.5, saferegion_time_s=0.5)
+        assert metrics.server_time_s == 2.0
+
+    def test_bandwidth(self):
+        metrics = Metrics(downlink_bytes=1_000_000)
+        assert metrics.downstream_bandwidth_mbps(8.0) == pytest.approx(1.0)
+        assert metrics.downstream_bandwidth_mbps(0.0) == 0.0
+
+    def test_fired_pairs_dedup(self):
+        metrics = Metrics(triggers=[TriggerEvent(1.0, 1, 5),
+                                    TriggerEvent(2.0, 1, 5),
+                                    TriggerEvent(2.0, 2, 5)])
+        assert metrics.fired_pairs() == {(1, 5), (2, 5)}
+
+    def test_checks_per_second(self):
+        metrics = Metrics(containment_checks=600)
+        assert metrics.checks_per_second(60.0, 10) == pytest.approx(1.0)
+        assert metrics.checks_per_second(0.0, 10) == 0.0
+
+
+class TestMessageSizes:
+    def test_rect_message(self):
+        sizes = MessageSizes()
+        assert sizes.rect_message() == 16 + 32
+
+    def test_safe_period_message(self):
+        assert MessageSizes().safe_period_message() == 24
+
+    def test_bitmap_message_rounds_bits_up(self):
+        sizes = MessageSizes()
+        base = sizes.downlink_header + sizes.bitmap_fixed
+        assert sizes.bitmap_message(1) == base + 1
+        assert sizes.bitmap_message(8) == base + 1
+        assert sizes.bitmap_message(9) == base + 2
+
+    def test_alarm_push_scales_with_count(self):
+        sizes = MessageSizes()
+        empty = sizes.alarm_push_message(0)
+        assert sizes.alarm_push_message(3) == empty + 3 * sizes.alarm_entry
+
+
+class TestEnergyModel:
+    def test_default_charges_ops_only(self):
+        model = EnergyModel()
+        metrics = Metrics(containment_ops=1000, uplink_messages=50,
+                          downlink_bytes=10000)
+        assert model.client_energy_j(metrics) == pytest.approx(
+            1000 * model.check_op_j)
+
+    def test_mwh_conversion(self):
+        model = EnergyModel(check_op_j=3.6)
+        metrics = Metrics(containment_ops=1)
+        assert model.client_energy_mwh(metrics) == pytest.approx(1.0)
+
+    def test_radio_model_charges_messages(self):
+        metrics = Metrics(containment_ops=0, uplink_messages=10,
+                          uplink_bytes=320, downlink_messages=2,
+                          downlink_bytes=100)
+        joules = RADIO_ENERGY_MODEL.client_energy_j(metrics)
+        expected = (10 * RADIO_ENERGY_MODEL.uplink_msg_j
+                    + 320 * RADIO_ENERGY_MODEL.uplink_byte_j
+                    + 2 * RADIO_ENERGY_MODEL.downlink_msg_j
+                    + 100 * RADIO_ENERGY_MODEL.downlink_byte_j)
+        assert joules == pytest.approx(expected)

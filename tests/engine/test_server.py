@@ -1,0 +1,89 @@
+"""Tests for the alarm server: one-shot firing, accounting, timing buckets."""
+
+import pytest
+
+from repro.alarms import AlarmRegistry, AlarmScope
+from repro.engine import AlarmServer, MessageSizes, Metrics
+from repro.geometry import Point, Rect
+from repro.index import GridOverlay
+
+UNIVERSE = Rect(0, 0, 4000, 4000)
+
+
+@pytest.fixture
+def server():
+    registry = AlarmRegistry()
+    registry.install(Rect(100, 100, 200, 200), AlarmScope.PUBLIC, 1)
+    registry.install(Rect(150, 150, 300, 300), AlarmScope.PUBLIC, 1)
+    registry.install(Rect(100, 100, 200, 200), AlarmScope.PRIVATE, 7)
+    grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+    return AlarmServer(registry, grid, Metrics(), sizes=MessageSizes())
+
+
+class TestProcessLocation:
+    def test_fires_all_containing(self, server):
+        fired = server.process_location(2, 0.0, Point(175, 175))
+        assert {alarm.alarm_id for alarm in fired} == {0, 1}
+        assert len(server.metrics.triggers) == 2
+
+    def test_one_shot_semantics(self, server):
+        server.process_location(2, 0.0, Point(175, 175))
+        again = server.process_location(2, 1.0, Point(176, 176))
+        assert again == []
+        assert len(server.metrics.triggers) == 2
+
+    def test_one_shot_is_per_user(self, server):
+        server.process_location(2, 0.0, Point(175, 175))
+        other = server.process_location(3, 0.0, Point(175, 175))
+        assert len(other) == 2
+
+    def test_private_alarm_owner_only(self, server):
+        fired = server.process_location(7, 0.0, Point(120, 120))
+        assert {alarm.alarm_id for alarm in fired} == {0, 2}
+        fired_other = server.process_location(8, 0.0, Point(120, 120))
+        assert {alarm.alarm_id for alarm in fired_other} == {0}
+
+    def test_timing_and_counters(self, server):
+        server.process_location(2, 0.0, Point(175, 175))
+        metrics = server.metrics
+        assert metrics.alarm_evaluations == 1
+        assert metrics.alarm_processing_time_s > 0
+        assert metrics.index_node_accesses > 0
+        assert metrics.trigger_notifications == 2
+
+
+class TestHelpers:
+    def test_pending_alarms_exclude_fired(self, server):
+        cell = Rect(0, 0, 1000, 1000)
+        before = server.pending_alarms_in(2, cell)
+        assert len(before) == 2
+        server.process_location(2, 0.0, Point(175, 175))
+        after = server.pending_alarms_in(2, cell)
+        assert after == []
+
+    def test_pending_nearest_distance(self, server):
+        distance = server.pending_nearest_distance(2, Point(0, 100))
+        assert distance == pytest.approx(100.0)
+        server.process_location(2, 0.0, Point(175, 175))
+        import math
+        assert math.isinf(server.pending_nearest_distance(2, Point(0, 100)))
+
+    def test_message_accounting(self, server):
+        server.receive_location(32)
+        server.receive_location(32)
+        server.send_downlink(48)
+        metrics = server.metrics
+        assert metrics.uplink_messages == 2
+        assert metrics.uplink_bytes == 64
+        assert metrics.downlink_messages == 1
+        assert metrics.downlink_bytes == 48
+
+    def test_timed_saferegion_bucket(self, server):
+        with server.timed_saferegion():
+            server.pending_alarms_in(2, Rect(0, 0, 500, 500))
+        assert server.metrics.saferegion_time_s > 0
+        assert server.metrics.safe_region_computations == 1
+
+    def test_current_cell(self, server):
+        cell = server.current_cell(Point(1500, 500))
+        assert cell.contains_point(Point(1500, 500))

@@ -1,0 +1,111 @@
+"""Tests for moving-target tracking under every strategy."""
+
+import pytest
+
+from repro.engine import (TargetTrack, compute_tracking_ground_truth,
+                          run_tracking_simulation)
+from repro.geometry import Rect
+from repro.saferegion import MWPSRComputer, PBSRComputer
+from repro.strategies import (BitmapSafeRegionStrategy, OptimalStrategy,
+                              PeriodicStrategy,
+                              RectangularSafeRegionStrategy,
+                              SafePeriodStrategy)
+from ..strategies.conftest import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    # the bus is vehicle 0; cars 1..9 subscribe to its public alarm
+    return make_world(vehicles=10, duration=180.0, alarms=30,
+                      public_fraction=0.3)
+
+
+@pytest.fixture(scope="module")
+def bus_alarm_id(world):
+    from repro.alarms import AlarmScope
+    for alarm in world.registry.all_alarms():
+        if alarm.scope is AlarmScope.PUBLIC:
+            return alarm.alarm_id
+    raise AssertionError("workload must contain a public alarm")
+
+
+@pytest.fixture(scope="module")
+def bus_track(world, bus_alarm_id):
+    # track a pre-installed *public* alarm along vehicle 0's trace
+    return TargetTrack.following_trace(bus_alarm_id, world.traces[0],
+                                       width=400.0, height=400.0)
+
+
+def all_strategies(world):
+    return [
+        PeriodicStrategy(),
+        SafePeriodStrategy(max_speed=world.max_speed()),
+        RectangularSafeRegionStrategy(MWPSRComputer(), name="MWPSR"),
+        BitmapSafeRegionStrategy(PBSRComputer(height=3), name="PBSR"),
+        OptimalStrategy(),
+    ]
+
+
+class TestTargetTrack:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TargetTrack(alarm_id=0, regions=())
+
+    def test_region_at_clamps(self):
+        track = TargetTrack(0, (Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)))
+        assert track.region_at(0) == Rect(0, 0, 1, 1)
+        assert track.region_at(99) == Rect(1, 1, 2, 2)
+        with pytest.raises(ValueError):
+            track.region_at(-1)
+
+    def test_following_trace(self, world):
+        track = TargetTrack.following_trace(0, world.traces[0], 100, 100)
+        assert len(track.regions) == len(world.traces[0])
+        first = world.traces[0][0].position
+        assert track.region_at(0).contains_point(first)
+
+
+class TestTrackingGroundTruth:
+    def test_moving_alarm_can_catch_parked_users(self, world, bus_track):
+        expected = compute_tracking_ground_truth(world, [bus_track])
+        # the moving 400 m bus zone sweeps a 16 km^2 map for 3 minutes:
+        # someone gets caught
+        bus_hits = [key for key in expected if key[1] == bus_track.alarm_id]
+        assert bus_hits
+
+    def test_static_tracks_match_static_ground_truth(self, world,
+                                                     bus_alarm_id):
+        alarm = world.registry.get(bus_alarm_id)
+        static = TargetTrack(bus_alarm_id, (alarm.region,))
+        expected = compute_tracking_ground_truth(world, [static])
+        assert expected == world.ground_truth()
+
+
+class TestTrackingAccuracy:
+    def test_every_strategy_upholds_the_contract(self, world, bus_track):
+        expected = compute_tracking_ground_truth(world, [bus_track])
+        assert expected
+        for strategy in all_strategies(world):
+            result = run_tracking_simulation(world, strategy, [bus_track])
+            assert result.accuracy.perfect, (
+                "%s under tracking: %r" % (strategy.name, result.accuracy))
+            assert result.accuracy.expected == len(expected)
+
+    def test_safe_region_confines_the_churn(self, world, bus_track):
+        """SP's global bound makes every target move invalidate every
+        subscriber; cell-scoped safe regions keep most clients asleep."""
+        sp = run_tracking_simulation(
+            world, SafePeriodStrategy(world.max_speed()), [bus_track])
+        mwpsr = run_tracking_simulation(
+            world, RectangularSafeRegionStrategy(MWPSRComputer(),
+                                                 name="MWPSR"),
+            [bus_track])
+        assert mwpsr.metrics.uplink_messages < sp.metrics.uplink_messages
+        # invalidation pushes are measured, not free
+        assert mwpsr.metrics.downlink_messages > 0
+
+    def test_world_registry_untouched(self, world, bus_track):
+        region_before = world.registry.get(bus_track.alarm_id).region
+        run_tracking_simulation(world, PeriodicStrategy(), [bus_track])
+        assert world.registry.get(bus_track.alarm_id).region == \
+            region_before

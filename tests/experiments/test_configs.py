@@ -1,0 +1,74 @@
+"""Tests for experiment configs and memoized world construction."""
+
+import pytest
+
+from repro.experiments import (BENCH, PAPER, TINY, WorkloadConfig,
+                               build_world, clear_caches, scaled_cell_sizes)
+
+
+class TestPresets:
+    def test_paper_scale_matches_section_5(self):
+        assert PAPER.vehicle_count == 10000
+        assert PAPER.duration_s == 3600.0
+        assert PAPER.alarm_count == 10000
+        assert PAPER.public_fraction == pytest.approx(0.10)
+        # ~1000 km^2
+        assert (PAPER.universe_side_m / 1000.0) ** 2 == pytest.approx(
+            1000.0, rel=0.01)
+
+    def test_bench_preserves_paper_alarm_density(self):
+        paper_density = PAPER.alarm_count / (PAPER.universe_side_m / 1e3) ** 2
+        bench_density = BENCH.alarm_count / (BENCH.universe_side_m / 1e3) ** 2
+        assert bench_density == pytest.approx(paper_density, rel=0.05)
+
+    def test_with_public_fraction(self):
+        varied = BENCH.with_public_fraction(0.2)
+        assert varied.public_fraction == 0.2
+        assert varied.alarm_count == BENCH.alarm_count
+        assert varied != BENCH
+
+    def test_scaled_cell_sizes_clip_to_universe(self):
+        assert 10.0 in scaled_cell_sizes(PAPER)
+        tiny_sizes = scaled_cell_sizes(TINY)
+        assert all(size <= (TINY.universe_side_m / 1e3) ** 2
+                   for size in tiny_sizes)
+        assert 0.4 in tiny_sizes
+
+
+class TestWorldConstruction:
+    def test_build_world_shapes(self):
+        world = build_world(TINY)
+        assert len(world.traces) == TINY.vehicle_count
+        assert len(world.registry) == TINY.alarm_count
+        assert world.universe.width == TINY.universe_side_m
+
+    def test_worlds_memoized(self):
+        first = build_world(TINY)
+        second = build_world(TINY)
+        assert first is second
+
+    def test_cell_size_variants_share_base(self):
+        small = build_world(TINY, cell_area_km2=0.4)
+        large = build_world(TINY, cell_area_km2=2.5)
+        assert small is not large
+        assert small.registry is large.registry
+        assert small.traces is large.traces
+
+    def test_ground_truth_shared_across_cell_sizes(self):
+        small = build_world(TINY, cell_area_km2=0.4)
+        large = build_world(TINY, cell_area_km2=2.5)
+        assert small.ground_truth() is large.ground_truth()
+
+    def test_cell_size_clamped_to_universe(self):
+        world = build_world(TINY, cell_area_km2=1e6)
+        assert world.grid.cell_count == 1
+
+    def test_clear_caches(self):
+        first = build_world(TINY)
+        clear_caches()
+        second = build_world(TINY)
+        assert first is not second
+
+    def test_max_speed_positive(self):
+        world = build_world(TINY)
+        assert world.max_speed() > 0

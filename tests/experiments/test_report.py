@@ -1,0 +1,48 @@
+"""Tests for the table formatting layer."""
+
+import pytest
+
+from repro.experiments import Table
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("Demo", ["name", "value"])
+        table.add_row("alpha", 1.2345)
+        table.add_row("beta", 12345.6)
+        rendered = str(table)
+        assert rendered.startswith("Demo")
+        assert "alpha" in rendered and "beta" in rendered
+        assert "1.23" in rendered
+        assert "12346" in rendered  # large floats rendered without decimals
+
+    def test_row_width_validation(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_access(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == ["2", "4"]
+        with pytest.raises(ValueError):
+            table.column("missing")
+
+    def test_alignment(self):
+        table = Table("Demo", ["key", "value"])
+        table.add_row("a-very-long-key", 1)
+        table.add_row("k", 2)
+        lines = str(table).splitlines()
+        # all data lines share the same column start offsets
+        assert len({line.index("1") for line in lines if "1 " in line or
+                    line.endswith("1")}) <= 1
+
+    def test_bool_and_small_float_formats(self):
+        table = Table("Demo", ["x"])
+        table.add_row(True)
+        table.add_row(0.00123)
+        table.add_row(0)
+        rendered = str(table)
+        assert "yes" in rendered
+        assert "0.0012" in rendered

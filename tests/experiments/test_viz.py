@@ -1,0 +1,68 @@
+"""Tests for the ASCII cell renderer."""
+
+import pytest
+
+from repro.experiments import render_cell, render_legend
+from repro.geometry import Point, Rect
+from repro.saferegion import MWPSRComputer, PBSRComputer
+
+CELL = Rect(0, 0, 1000, 1000)
+
+
+class TestRenderCell:
+    def test_dimensions(self):
+        art = render_cell(CELL, [], width=40, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)
+
+    def test_subscriber_marker(self):
+        art = render_cell(CELL, [], position=Point(500, 500), width=20,
+                          height=10)
+        assert art.count("@") == 1
+
+    def test_alarm_marker_placement(self):
+        """An alarm in the bottom-left appears in the lower-left rows."""
+        art = render_cell(CELL, [Rect(0, 0, 300, 300)], width=20, height=10)
+        lines = art.splitlines()[1:-1]  # strip borders
+        top_half = "".join(lines[:5])
+        bottom_half = "".join(lines[5:])
+        assert "#" in bottom_half
+        assert "#" not in top_half
+
+    def test_safe_region_dots(self):
+        art = render_cell(CELL, [], safe_region=Rect(0, 0, 1000, 1000),
+                          width=10, height=5)
+        interior = art.splitlines()[1:-1]
+        assert all(set(line.strip("|")) == {"."} for line in interior)
+
+    def test_no_conflict_for_correct_regions(self):
+        alarms = [Rect(600, 600, 800, 800), Rect(100, 400, 300, 600)]
+        position = Point(450, 200)
+        result = MWPSRComputer().compute(position, 0.0, CELL, alarms)
+        art = render_cell(CELL, alarms, position, result.rect, width=50)
+        assert "+" not in art.replace("+--", "").replace("--+", "")
+
+    def test_conflict_marker_for_bad_region(self):
+        """A deliberately unsafe region renders the + warning."""
+        alarms = [Rect(400, 400, 600, 600)]
+        bogus_region = Rect(0, 0, 1000, 1000)
+        art = render_cell(CELL, alarms, None, bogus_region, width=30,
+                          height=15)
+        assert "+" in art[art.index("\n"):art.rindex("\n")]
+
+    def test_accepts_safe_region_objects(self):
+        region = PBSRComputer(height=2).compute(
+            CELL, [Rect(100, 100, 300, 300)])
+        art = render_cell(CELL, [Rect(100, 100, 300, 300)],
+                          safe_region=region, width=30, height=15)
+        assert "." in art
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            render_cell(CELL, [], width=1)
+
+    def test_legend_mentions_all_markers(self):
+        legend = render_legend()
+        for marker in "@#.+":
+            assert marker in legend

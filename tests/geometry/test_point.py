@@ -1,0 +1,130 @@
+"""Unit and property tests for repro.geometry.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import ORIGIN, Point, normalize_angle
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+class TestPointArithmetic:
+    def test_add(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+
+    def test_sub(self):
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scale(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_neg(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iter_and_tuple(self):
+        x, y = Point(5, 7)
+        assert (x, y) == (5, 7)
+        assert Point(5, 7).as_tuple() == (5, 7)
+
+    def test_hashable(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    @given(finite, finite, finite, finite)
+    def test_add_sub_roundtrip(self, ax, ay, bx, by):
+        a = Point(ax, ay)
+        b = Point(bx, by)
+        roundtrip = (a + b) - b
+        assert math.isclose(roundtrip.x, a.x, abs_tol=1e-6)
+        assert math.isclose(roundtrip.y, a.y, abs_tol=1e-6)
+
+
+class TestDistances:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == 25.0
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5.0
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, ax, ay, bx, by):
+        a = Point(ax, ay)
+        b = Point(bx, by)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(finite, finite)
+    def test_self_distance_zero(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, ax, ay, bx, by, cx, cy):
+        a, b, c = Point(ax, ay), Point(bx, by), Point(cx, cy)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+
+class TestHeadings:
+    def test_heading_east(self):
+        assert Point(0, 0).heading_to(Point(1, 0)) == 0.0
+
+    def test_heading_north(self):
+        assert Point(0, 0).heading_to(Point(0, 5)) == pytest.approx(
+            math.pi / 2)
+
+    def test_heading_west(self):
+        assert Point(0, 0).heading_to(Point(-1, 0)) == pytest.approx(math.pi)
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0, abs=1e-12)
+        assert rotated.y == pytest.approx(1)
+
+    @given(finite, finite, angles)
+    def test_rotation_preserves_norm(self, x, y, angle):
+        p = Point(x, y)
+        assert p.rotated(angle).norm() == pytest.approx(p.norm(),
+                                                        rel=1e-9, abs=1e-6)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_origin_constant(self):
+        assert ORIGIN == Point(0.0, 0.0)
+
+    def test_is_finite(self):
+        assert Point(1.0, 2.0).is_finite()
+        assert not Point(math.inf, 0.0).is_finite()
+        assert not Point(0.0, math.nan).is_finite()
+
+
+class TestNormalizeAngle:
+    @pytest.mark.parametrize("angle,expected", [
+        (0.0, 0.0),
+        (math.pi, math.pi),
+        (-math.pi, math.pi),
+        (3 * math.pi, math.pi),
+        (2 * math.pi, 0.0),
+        (math.pi / 2, math.pi / 2),
+        (-3 * math.pi / 2, math.pi / 2),
+    ])
+    def test_known_values(self, angle, expected):
+        assert normalize_angle(angle) == pytest.approx(expected)
+
+    @given(angles)
+    def test_range(self, angle):
+        wrapped = normalize_angle(angle)
+        assert -math.pi < wrapped <= math.pi
+
+    @given(angles)
+    def test_same_direction(self, angle):
+        wrapped = normalize_angle(angle)
+        assert math.cos(wrapped) == pytest.approx(math.cos(angle), abs=1e-9)
+        assert math.sin(wrapped) == pytest.approx(math.sin(angle), abs=1e-9)

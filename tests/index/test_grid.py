@@ -1,0 +1,91 @@
+"""Tests for the uniform grid overlay."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Rect
+from repro.index import CellId, GridOverlay
+
+UNIVERSE = Rect(0, 0, 10000, 10000)
+
+
+class TestConstruction:
+    def test_cell_counts_snap_to_integer(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=2.5)
+        assert grid.columns >= 1 and grid.rows >= 1
+        assert grid.cell_count == grid.columns * grid.rows
+
+    def test_actual_area_close_to_requested(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=2.5)
+        assert grid.actual_cell_area_km2 == pytest.approx(2.5, rel=0.4)
+
+    def test_huge_cell_gives_single_cell(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=100.0)
+        assert grid.shape() == (1, 1)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            GridOverlay(UNIVERSE, cell_area_km2=0)
+        with pytest.raises(ValueError):
+            GridOverlay(Rect(0, 0, 0, 10), cell_area_km2=1)
+
+
+class TestLookup:
+    def test_cell_of_origin(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+        assert grid.cell_of(Point(0, 0)) == CellId(0, 0)
+
+    def test_cell_of_clamps_outside(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+        far = grid.cell_of(Point(99999, -5))
+        assert far == CellId(grid.columns - 1, 0)
+
+    def test_cell_rect_contains_its_points(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=2.5)
+        p = Point(1234.5, 6789.0)
+        assert grid.cell_rect_of_point(p).contains_point(p)
+
+    def test_cell_rect_rejects_bad_cell(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=2.5)
+        with pytest.raises(ValueError):
+            grid.cell_rect(CellId(-1, 0))
+        with pytest.raises(ValueError):
+            grid.cell_rect(CellId(grid.columns, 0))
+
+    @given(st.floats(min_value=0, max_value=9999.99),
+           st.floats(min_value=0, max_value=9999.99))
+    def test_every_point_maps_to_containing_cell(self, x, y):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=1.11)
+        p = Point(x, y)
+        cell = grid.cell_of(p)
+        assert 0 <= cell.col < grid.columns
+        assert 0 <= cell.row < grid.rows
+        assert grid.cell_rect(cell).contains_point(p)
+
+
+class TestCoverage:
+    def test_cells_tile_universe(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=2.5)
+        total = sum(grid.cell_rect(CellId(c, r)).area
+                    for c in range(grid.columns) for r in range(grid.rows))
+        assert total == pytest.approx(UNIVERSE.area)
+
+    def test_cells_intersecting_rect(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+        query = Rect(100, 100, 2500, 1500)
+        cells = list(grid.cells_intersecting(query))
+        assert cells
+        for cell in cells:
+            assert grid.cell_rect(cell).intersects(query)
+        # every cell that intersects must be reported
+        for col in range(grid.columns):
+            for row in range(grid.rows):
+                cell = CellId(col, row)
+                if grid.cell_rect(cell).interior_intersects(query):
+                    assert cell in cells
+
+    def test_cells_intersecting_outside_universe(self):
+        grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+        assert list(grid.cells_intersecting(
+            Rect(20000, 20000, 21000, 21000))) == []

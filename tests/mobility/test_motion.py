@@ -1,0 +1,149 @@
+"""Tests for the steady-motion direction model (paper Fig. 1(b))."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility import SteadyMotionModel, UniformMotionModel
+
+TWO_PI = 2.0 * math.pi
+PAPER_ZS = (2, 4, 8, 16, 32)
+
+
+class TestUniformModel:
+    def test_pdf_constant(self):
+        model = UniformMotionModel()
+        assert model.pdf(0.0) == model.pdf(2.3) == 1.0 / TWO_PI
+
+    def test_sector_mass_proportional(self):
+        model = UniformMotionModel()
+        assert model.sector_mass(0, math.pi) == pytest.approx(0.5)
+        assert model.sector_mass(-math.pi / 2, math.pi / 2) == \
+            pytest.approx(0.5)
+
+    def test_wrapping_sector(self):
+        model = UniformMotionModel()
+        assert model.sector_mass(3 * math.pi / 4, -3 * math.pi / 4) == \
+            pytest.approx(0.25)
+
+    def test_world_sector_mass_heading_invariant(self):
+        model = UniformMotionModel()
+        assert model.world_sector_mass(1.3, 0, math.pi / 2) == \
+            pytest.approx(0.25)
+
+
+class TestSteadyModelPaperProperties:
+    """Each property here is stated explicitly in the paper's Section 3."""
+
+    @pytest.mark.parametrize("z", PAPER_ZS)
+    def test_integrates_to_one(self, z):
+        model = SteadyMotionModel(1.0, z)
+        assert model.total_mass() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("z", PAPER_ZS)
+    def test_symmetric(self, z):
+        model = SteadyMotionModel(1.0, z)
+        for phi in (0.1, 0.5, 1.2, 2.0, 3.0):
+            assert model.pdf(phi) == pytest.approx(model.pdf(-phi))
+
+    @pytest.mark.parametrize("z", PAPER_ZS)
+    def test_plateau_width_pi_over_z(self, z):
+        """p is the same for all 0 <= phi <= pi/z."""
+        model = SteadyMotionModel(1.0, z)
+        plateau = math.pi / z
+        values = {round(model.pdf(f * plateau), 12)
+                  for f in (0.0, 0.25, 0.5, 0.9, 0.999)}
+        assert len(values) == 1
+
+    @pytest.mark.parametrize("z", PAPER_ZS)
+    def test_decreases_beyond_plateau(self, z):
+        model = SteadyMotionModel(1.0, z)
+        samples = [model.pdf(f) for f in
+                   [k * math.pi / 50 for k in range(51)]]
+        for earlier, later in zip(samples, samples[1:]):
+            assert later <= earlier + 1e-12
+
+    @pytest.mark.parametrize("z", PAPER_ZS)
+    def test_fig1b_range(self, z):
+        """Peak ~0.239 (=1.5/2pi) and floor ~0.080 (=0.5/2pi) at y=1."""
+        model = SteadyMotionModel(1.0, z)
+        assert model.pdf(0.0) == pytest.approx(1.5 / TWO_PI)
+        assert model.pdf(math.pi) == pytest.approx(0.5 / TWO_PI, rel=0.3)
+
+    def test_positive_everywhere(self):
+        for z in PAPER_ZS:
+            model = SteadyMotionModel(1.0, z)
+            for k in range(100):
+                assert model.pdf(-math.pi + k * TWO_PI / 100) > 0
+
+    def test_y_over_z_validation(self):
+        with pytest.raises(ValueError):
+            SteadyMotionModel(4.0, 4)
+        with pytest.raises(ValueError):
+            SteadyMotionModel(0.0, 4)
+        with pytest.raises(ValueError):
+            SteadyMotionModel(1.0, 0)
+
+    def test_forward_mass_exceeds_backward(self):
+        model = SteadyMotionModel(1.0, 8)
+        forward = model.sector_mass(-math.pi / 4, math.pi / 4)
+        backward = model.sector_mass(3 * math.pi / 4, -3 * math.pi / 4)
+        assert forward > backward
+
+
+class TestSectorMass:
+    @pytest.mark.parametrize("z", (2, 8, 32))
+    def test_quadrants_sum_to_one(self, z):
+        model = SteadyMotionModel(1.0, z)
+        quadrants = [(-math.pi, -math.pi / 2), (-math.pi / 2, 0),
+                     (0, math.pi / 2), (math.pi / 2, math.pi)]
+        assert sum(model.sector_mass(a, b)
+                   for a, b in quadrants) == pytest.approx(1.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.floats(min_value=-math.pi, max_value=math.pi),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_mass_matches_numeric_integral(self, start, end):
+        model = SteadyMotionModel(1.0, 8)
+        mass = model.sector_mass(start, end)
+        # numeric check: integrate the pdf over the CCW sector
+        span = (end - start) % TWO_PI
+        steps = 2000
+        numeric = sum(model.pdf(start + (k + 0.5) * span / steps)
+                      for k in range(steps)) * span / steps
+        assert mass == pytest.approx(numeric, abs=2e-3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-10, max_value=10),
+           st.floats(min_value=-math.pi, max_value=math.pi),
+           st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_world_frame_consistency(self, heading, start, end):
+        model = SteadyMotionModel(1.0, 4)
+        direct = model.world_sector_mass(heading, start, end)
+        shifted = model.sector_mass(start - heading, end - heading)
+        assert direct == pytest.approx(shifted)
+
+    def test_mass_non_negative(self):
+        model = SteadyMotionModel(1.0, 16)
+        for k in range(40):
+            for j in range(40):
+                a = -math.pi + k * TWO_PI / 40
+                b = -math.pi + j * TWO_PI / 40
+                assert model.sector_mass(a, b) >= -1e-12
+
+
+class TestSampling:
+    def test_samples_follow_density(self):
+        model = SteadyMotionModel(1.0, 4)
+        rng = random.Random(99)
+        draws = [model.sample(rng) for _ in range(20000)]
+        assert all(-math.pi <= d <= math.pi for d in draws)
+        forward = sum(1 for d in draws if abs(d) < math.pi / 4)
+        backward = sum(1 for d in draws if abs(d) > 3 * math.pi / 4)
+        expected_forward = model.sector_mass(-math.pi / 4, math.pi / 4)
+        assert forward / len(draws) == pytest.approx(expected_forward,
+                                                     abs=0.02)
+        assert forward > backward

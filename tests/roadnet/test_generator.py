@@ -1,0 +1,93 @@
+"""Tests for the synthetic road-network generator."""
+
+import pytest
+
+from repro.roadnet import NetworkConfig, RoadClass, generate_network
+
+SMALL = NetworkConfig(universe_side_m=4000.0, lattice_spacing_m=500.0)
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        NetworkConfig()
+
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(universe_side_m=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(universe_side_m=100, lattice_spacing_m=500)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(jitter_fraction=0.6)
+        with pytest.raises(ValueError):
+            NetworkConfig(local_drop_fraction=1.0)
+
+    def test_universe(self):
+        config = NetworkConfig(universe_side_m=1000.0,
+                               lattice_spacing_m=250.0)
+        assert config.universe.area == pytest.approx(1e6)
+
+
+class TestGeneratedNetwork:
+    def test_deterministic(self):
+        first = generate_network(SMALL, seed=5)
+        second = generate_network(SMALL, seed=5)
+        assert first.node_count == second.node_count
+        assert first.edge_count == second.edge_count
+        assert all(first.position(n) == second.position(n)
+                   for n in first.nodes())
+
+    def test_different_seeds_differ(self):
+        first = generate_network(SMALL, seed=5)
+        second = generate_network(SMALL, seed=6)
+        positions_differ = any(first.position(n) != second.position(n)
+                               for n in first.nodes()
+                               if n < min(first.node_count,
+                                          second.node_count))
+        assert positions_differ
+
+    def test_connected(self):
+        network = generate_network(SMALL, seed=1)
+        assert network.is_connected()
+
+    def test_nodes_within_universe(self):
+        network = generate_network(SMALL, seed=2)
+        universe = SMALL.universe
+        slack = SMALL.jitter_fraction * SMALL.lattice_spacing_m + 1.0
+        grown = universe.expanded(slack)
+        for node in network.nodes():
+            assert grown.contains_point(network.position(node))
+
+    def test_spans_the_universe(self):
+        network = generate_network(SMALL, seed=3)
+        bounds = network.bounds()
+        assert bounds.width >= 0.9 * SMALL.universe_side_m
+        assert bounds.height >= 0.9 * SMALL.universe_side_m
+
+    def test_road_class_mix(self):
+        config = NetworkConfig(universe_side_m=16000.0,
+                               lattice_spacing_m=500.0)
+        network = generate_network(config, seed=4)
+        counts = {cls: 0 for cls in RoadClass}
+        for edge in network.edges():
+            counts[edge.road_class] += 1
+        assert counts[RoadClass.LOCAL] > counts[RoadClass.ARTERIAL] > 0
+        assert counts[RoadClass.HIGHWAY] > 0
+
+    def test_local_edges_thinned(self):
+        dense = NetworkConfig(universe_side_m=8000.0,
+                              lattice_spacing_m=500.0,
+                              local_drop_fraction=0.0)
+        thinned = NetworkConfig(universe_side_m=8000.0,
+                                lattice_spacing_m=500.0,
+                                local_drop_fraction=0.3)
+        assert generate_network(thinned, seed=7).edge_count < \
+            generate_network(dense, seed=7).edge_count
+
+    def test_reasonable_density(self):
+        """~1000 km^2 default yields a drivable, city-like road supply."""
+        network = generate_network(NetworkConfig(), seed=8)
+        area_km2 = (NetworkConfig().universe_side_m / 1000.0) ** 2
+        density = network.total_length_km() / area_km2  # km road per km^2
+        assert 1.0 < density < 10.0

@@ -1,0 +1,165 @@
+"""Tests for the road-network graph model."""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.roadnet import Edge, RoadClass, RoadNetwork
+
+
+def line_network(positions, road_class=RoadClass.LOCAL):
+    """A simple path graph through the given positions."""
+    network = RoadNetwork()
+    ids = [network.add_node(p) for p in positions]
+    for a, b in zip(ids, ids[1:]):
+        network.add_edge(a, b, road_class)
+    return network, ids
+
+
+class TestConstruction:
+    def test_empty(self):
+        network = RoadNetwork()
+        assert network.node_count == 0
+        assert network.edge_count == 0
+        assert network.is_connected()
+
+    def test_add_nodes_and_edges(self):
+        network, ids = line_network([Point(0, 0), Point(100, 0),
+                                     Point(100, 100)])
+        assert network.node_count == 3
+        assert network.edge_count == 2
+        assert network.degree(ids[1]) == 2
+        assert network.degree(ids[0]) == 1
+
+    def test_edge_length_euclidean(self):
+        network, ids = line_network([Point(0, 0), Point(3, 4)])
+        edge = network.edges_at(ids[0])[0]
+        assert edge.length == 5.0
+
+    def test_self_loop_rejected(self):
+        network = RoadNetwork()
+        n = network.add_node(Point(0, 0))
+        with pytest.raises(ValueError):
+            network.add_edge(n, n, RoadClass.LOCAL)
+
+    def test_zero_length_edge_rejected(self):
+        network = RoadNetwork()
+        a = network.add_node(Point(1, 1))
+        b = network.add_node(Point(1, 1))
+        with pytest.raises(ValueError):
+            network.add_edge(a, b, RoadClass.LOCAL)
+
+    def test_edges_iterates_each_once(self):
+        network, _ = line_network([Point(0, 0), Point(1, 0), Point(2, 0),
+                                   Point(3, 0)])
+        assert len(list(network.edges())) == 3
+
+    def test_bounds(self):
+        network, _ = line_network([Point(-5, 2), Point(10, -3)])
+        bounds = network.bounds()
+        assert (bounds.min_x, bounds.min_y, bounds.max_x, bounds.max_y) == \
+            (-5, -3, 10, 2)
+
+    def test_total_length(self):
+        network, _ = line_network([Point(0, 0), Point(1000, 0)])
+        assert network.total_length_km() == pytest.approx(1.0)
+
+
+class TestEdge:
+    def test_other_endpoint(self):
+        edge = Edge(3, 7, RoadClass.LOCAL, 10.0)
+        assert edge.other(3) == 7
+        assert edge.other(7) == 3
+        with pytest.raises(ValueError):
+            edge.other(5)
+
+    def test_travel_time_uses_speed_limit(self):
+        edge = Edge(0, 1, RoadClass.HIGHWAY, 291.0)
+        assert edge.travel_time == pytest.approx(10.0)
+
+    def test_speed_hierarchy(self):
+        assert RoadClass.HIGHWAY.speed_limit > \
+            RoadClass.ARTERIAL.speed_limit > RoadClass.LOCAL.speed_limit
+
+
+class TestConnectivity:
+    def test_disconnected_components(self):
+        network = RoadNetwork()
+        a = network.add_node(Point(0, 0))
+        b = network.add_node(Point(1, 0))
+        c = network.add_node(Point(10, 10))
+        d = network.add_node(Point(11, 10))
+        e = network.add_node(Point(12, 10))
+        network.add_edge(a, b, RoadClass.LOCAL)
+        network.add_edge(c, d, RoadClass.LOCAL)
+        network.add_edge(d, e, RoadClass.LOCAL)
+        assert not network.is_connected()
+        assert network.largest_component() == [c, d, e]
+
+    def test_connected_line(self):
+        network, _ = line_network([Point(0, 0), Point(1, 0), Point(2, 0)])
+        assert network.is_connected()
+
+
+class TestShortestPath:
+    def test_trivial(self):
+        network, ids = line_network([Point(0, 0), Point(1, 0)])
+        assert network.shortest_path(ids[0], ids[0]) == []
+
+    def test_line_path(self):
+        points = [Point(i * 100.0, 0) for i in range(5)]
+        network, ids = line_network(points)
+        path = network.shortest_path(ids[0], ids[4])
+        assert path is not None
+        assert len(path) == 4
+        assert network.path_length(path) == pytest.approx(400.0)
+
+    def test_unreachable_returns_none(self):
+        network = RoadNetwork()
+        a = network.add_node(Point(0, 0))
+        b = network.add_node(Point(1, 0))
+        c = network.add_node(Point(5, 5))
+        d = network.add_node(Point(6, 5))
+        network.add_edge(a, b, RoadClass.LOCAL)
+        network.add_edge(c, d, RoadClass.LOCAL)
+        assert network.shortest_path(a, c) is None
+
+    def test_prefers_fast_road(self):
+        """A longer highway route beats a shorter local route on time."""
+        network = RoadNetwork()
+        start = network.add_node(Point(0, 0))
+        end = network.add_node(Point(1000, 0))
+        detour = network.add_node(Point(500, 400))
+        network.add_edge(start, end, RoadClass.LOCAL)       # direct, slow
+        network.add_edge(start, detour, RoadClass.HIGHWAY)  # detour, fast
+        network.add_edge(detour, end, RoadClass.HIGHWAY)
+        path = network.shortest_path(start, end)
+        classes = {edge.road_class for edge in path}
+        direct_time = 1000.0 / RoadClass.LOCAL.speed_limit
+        path_time = sum(edge.travel_time for edge in path)
+        assert classes == {RoadClass.HIGHWAY}
+        assert path_time < direct_time
+
+    def test_path_is_contiguous(self):
+        import random
+        rng = random.Random(3)
+        network = RoadNetwork()
+        side = 6
+        ids = [[network.add_node(Point(c * 100.0 + rng.uniform(-10, 10),
+                                       r * 100.0 + rng.uniform(-10, 10)))
+                for c in range(side)] for r in range(side)]
+        for r in range(side):
+            for c in range(side):
+                if c + 1 < side:
+                    network.add_edge(ids[r][c], ids[r][c + 1],
+                                     RoadClass.LOCAL)
+                if r + 1 < side:
+                    network.add_edge(ids[r][c], ids[r + 1][c],
+                                     RoadClass.ARTERIAL)
+        path = network.shortest_path(ids[0][0], ids[side - 1][side - 1])
+        assert path is not None
+        node = ids[0][0]
+        for edge in path:
+            node = edge.other(node)  # raises if not contiguous
+        assert node == ids[side - 1][side - 1]

@@ -1,0 +1,77 @@
+"""Round-trip tests for road-network persistence."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.roadnet import (NetworkConfig, RoadClass, RoadNetwork,
+                           generate_network, load_network, save_network)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(NetworkConfig(universe_side_m=2000.0,
+                                          lattice_spacing_m=400.0), seed=9)
+
+
+class TestRoundTrip:
+    def test_plain(self, network, tmp_path):
+        path = tmp_path / "map.txt"
+        save_network(network, path)
+        loaded = load_network(path)
+        assert loaded.node_count == network.node_count
+        assert loaded.edge_count == network.edge_count
+        for node in network.nodes():
+            assert loaded.position(node) == network.position(node)
+        original = sorted((e.node_a, e.node_b, e.road_class.value)
+                          for e in network.edges())
+        reloaded = sorted((e.node_a, e.node_b, e.road_class.value)
+                          for e in loaded.edges())
+        assert original == reloaded
+
+    def test_gzip(self, network, tmp_path):
+        path = tmp_path / "map.txt.gz"
+        save_network(network, path)
+        assert load_network(path).node_count == network.node_count
+
+    def test_routing_survives(self, network, tmp_path):
+        path = tmp_path / "map.txt"
+        save_network(network, path)
+        loaded = load_network(path)
+        original_path = network.shortest_path(0, network.node_count - 1)
+        loaded_path = loaded.shortest_path(0, loaded.node_count - 1)
+        assert network.path_length(original_path) == pytest.approx(
+            loaded.path_length(loaded_path))
+
+
+class TestValidation:
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("hello\n")
+        with pytest.raises(ValueError):
+            load_network(path)
+
+    def test_rejects_sparse_node_ids(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#repro-roadnet v1\nN 5 0.0 0.0\n")
+        with pytest.raises(ValueError):
+            load_network(path)
+
+    def test_rejects_unknown_node_in_edge(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#repro-roadnet v1\nN 0 0.0 0.0\nN 1 1.0 0.0\n"
+                        "E 0 7 local\n")
+        with pytest.raises(ValueError):
+            load_network(path)
+
+    def test_rejects_unknown_road_class(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#repro-roadnet v1\nN 0 0.0 0.0\nN 1 1.0 0.0\n"
+                        "E 0 1 maglev\n")
+        with pytest.raises(ValueError):
+            load_network(path)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("#repro-roadnet v1\n\n# a comment\n"
+                        "N 0 0.0 0.0\nN 1 1.0 0.0\nE 0 1 local\n")
+        assert load_network(path).edge_count == 1

@@ -1,0 +1,114 @@
+"""Tests for the safe-region base abstractions."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.saferegion import (FLOAT_BITS, RectangularSafeRegion,
+                              region_is_safe)
+
+
+class TestRectangularSafeRegion:
+    def test_probe_inside(self):
+        region = RectangularSafeRegion(Rect(0, 0, 10, 10))
+        inside, ops = region.probe(Point(5, 5))
+        assert inside
+        assert ops == 1
+
+    def test_probe_boundary_is_inside(self):
+        region = RectangularSafeRegion(Rect(0, 0, 10, 10))
+        assert region.probe(Point(0, 5)) == (True, 1)
+
+    def test_probe_outside(self):
+        region = RectangularSafeRegion(Rect(0, 0, 10, 10))
+        assert region.probe(Point(11, 5)) == (False, 1)
+
+    def test_size_is_four_floats(self):
+        region = RectangularSafeRegion(Rect(0, 0, 1, 1))
+        assert region.size_bits() == 4 * FLOAT_BITS
+
+    def test_area(self):
+        assert RectangularSafeRegion(Rect(0, 0, 4, 5)).area() == 20.0
+
+    def test_repr_mentions_rect(self):
+        assert "Rect" in repr(RectangularSafeRegion(Rect(0, 0, 1, 1)))
+
+
+class TestRegionIsSafe:
+    def test_disjoint_is_safe(self):
+        assert region_is_safe(Rect(0, 0, 10, 10), [Rect(20, 20, 30, 30)])
+
+    def test_touching_is_safe(self):
+        assert region_is_safe(Rect(0, 0, 10, 10), [Rect(10, 0, 20, 10)])
+
+    def test_overlap_is_unsafe(self):
+        assert not region_is_safe(Rect(0, 0, 10, 10), [Rect(5, 5, 20, 20)])
+
+    def test_no_obstacles_is_safe(self):
+        assert region_is_safe(Rect(0, 0, 10, 10), [])
+
+    def test_tolerance_absorbs_float_slack(self):
+        region = Rect(0, 0, 10.0 + 1e-12, 10)
+        assert region_is_safe(region, [Rect(10, 0, 20, 10)])
+
+    def test_tolerance_does_not_hide_real_overlap(self):
+        region = Rect(0, 0, 10.5, 10)
+        assert not region_is_safe(region, [Rect(10, 0, 20, 10)])
+
+    def test_custom_tolerance(self):
+        region = Rect(0, 0, 10.5, 10)
+        assert region_is_safe(region, [Rect(10, 0, 20, 10)], tolerance=1.0)
+
+
+class TestPBSRComputerCache:
+    def test_cache_hit_for_identical_public_sets(self):
+        from repro.saferegion import PBSRComputer
+
+        computer = PBSRComputer(height=2)
+        cell = Rect(0, 0, 900, 900)
+        obstacles = [Rect(100, 100, 200, 200)]
+        first = computer.compute(cell, obstacles)
+        second = computer.compute(cell, obstacles)
+        assert second is first  # the shared region object is reused
+        assert computer.cache_hits == 1
+
+    def test_cache_bypassed_for_personal_obstacles(self):
+        from repro.saferegion import PBSRComputer
+
+        computer = PBSRComputer(height=2)
+        cell = Rect(0, 0, 900, 900)
+        public = [Rect(100, 100, 200, 200)]
+        personal = [Rect(400, 400, 500, 500)]
+        shared = computer.compute(cell, public)
+        personalized = computer.compute(cell, public, personal)
+        assert personalized is not shared
+        # the personalized region excludes the personal alarm's area
+        assert personalized.bitmap.coverage() < shared.bitmap.coverage()
+
+    def test_cache_miss_on_different_public_sets(self):
+        from repro.saferegion import PBSRComputer
+
+        computer = PBSRComputer(height=2)
+        cell = Rect(0, 0, 900, 900)
+        computer.compute(cell, [Rect(100, 100, 200, 200)])
+        computer.compute(cell, [Rect(300, 300, 400, 400)])
+        assert computer.cache_misses == 2
+
+    def test_clear_cache(self):
+        from repro.saferegion import PBSRComputer
+
+        computer = PBSRComputer(height=2)
+        cell = Rect(0, 0, 900, 900)
+        computer.compute(cell, [])
+        computer.clear_cache()
+        assert computer.cache_hits == 0
+        computer.compute(cell, [])
+        assert computer.cache_misses == 1
+
+    def test_share_disabled(self):
+        from repro.saferegion import PBSRComputer
+
+        computer = PBSRComputer(height=2, share_public=False)
+        cell = Rect(0, 0, 900, 900)
+        first = computer.compute(cell, [])
+        second = computer.compute(cell, [])
+        assert first is not second

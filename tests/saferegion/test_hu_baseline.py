@@ -1,0 +1,100 @@
+"""The Hu et al. [10] baseline exhibits exactly the failure modes the
+paper attributes to it — and the MWPSR computer fixes both."""
+
+import math
+
+import pytest
+
+from repro.alarms import AlarmRegistry, AlarmScope
+from repro.engine import World, run_simulation
+from repro.geometry import Point, Rect
+from repro.index import GridOverlay
+from repro.mobility import Trace, TraceSample, TraceSet
+from repro.saferegion import MWPSRComputer, region_is_safe
+from repro.saferegion.hu_baseline import HuBaselineComputer
+from repro.strategies import RectangularSafeRegionStrategy
+
+CELL = Rect(0, 0, 1000, 1000)
+
+# The adversarial geometry: an alarm straddling the subscriber's
+# vertical axis, masked in both upper quadrants by nearer decoy alarms
+# whose corners sit slightly above the straddling alarm's lower edge.
+# Nearest-corner-per-quadrant bookkeeping then caps the region at the
+# decoys (y=605) and never sees the straddling constraint (y=600).
+POSITION = Point(500, 200)
+STRADDLE = Rect(400, 600, 620, 700)
+DECOY_RIGHT = Rect(550, 605, 560, 615)
+DECOY_LEFT = Rect(440, 605, 450, 615)
+ALARMS = [STRADDLE, DECOY_RIGHT, DECOY_LEFT]
+
+
+class TestFailureModes:
+    def test_masked_straddling_alarm_makes_hu_region_unsafe(self):
+        """Failure mode 1: axis-straddling alarm regions."""
+        hu = HuBaselineComputer().compute(POSITION, 0.0, CELL, ALARMS)
+        assert hu.rect.interior_intersects(STRADDLE), \
+            "the baseline's documented failure did not occur"
+        # a point strictly inside the alarm is inside the "safe" region
+        assert hu.rect.contains_point(Point(500, 602))
+
+    def test_mwpsr_is_safe_on_the_same_geometry(self):
+        """Our computer clamps straddling candidates onto the axis."""
+        ours = MWPSRComputer().compute(POSITION, 0.0, CELL, ALARMS)
+        assert region_is_safe(ours.rect, ALARMS)
+        assert ours.rect.contains_point(POSITION)
+
+    def test_overlapping_alarms_handled_by_mwpsr(self):
+        """Failure mode 2: overlapping alarm regions (our fix holds)."""
+        position = Point(100, 100)
+        a = Rect(300, 50, 500, 300)
+        b = Rect(250, 120, 400, 400)
+        ours = MWPSRComputer().compute(position, 0.0, CELL, [a, b])
+        assert region_is_safe(ours.rect, [a, b])
+        assert ours.rect.contains_point(position)
+
+    def test_hu_safe_on_easy_geometry(self):
+        """On well-separated quadrant-contained alarms the baseline is
+        fine — the failures are specifically about the hard cases."""
+        position = Point(500, 500)
+        alarms = [Rect(700, 700, 800, 800), Rect(100, 100, 200, 200)]
+        hu = HuBaselineComputer().compute(position, 0.0, CELL, alarms)
+        assert region_is_safe(hu.rect, alarms)
+
+    def test_position_outside_cell_rejected(self):
+        with pytest.raises(ValueError):
+            HuBaselineComputer().compute(Point(-1, 0), 0.0, CELL, [])
+
+
+class TestSimulationImpact:
+    @staticmethod
+    def _world():
+        """One vehicle creeping north through the adversarial geometry.
+
+        2 m/s sampling places fixes at y = 602 and 604 — strictly inside
+        the straddling alarm yet still inside the baseline's unsafe
+        region (which reaches the decoys at y = 605).
+        """
+        samples = [TraceSample(float(k), Point(500.0, 580.0 + 2.0 * k),
+                               math.pi / 2, 2.0) for k in range(41)]
+        traces = TraceSet({0: Trace(0, samples)}, sample_interval=1.0)
+        registry = AlarmRegistry()
+        for region in ALARMS:
+            registry.install(region, AlarmScope.PUBLIC, owner_id=9)
+        return World(universe=CELL,
+                     grid=GridOverlay(CELL, cell_area_km2=1.0),
+                     registry=registry, traces=traces)
+
+    def test_hu_baseline_misses_the_alarm_end_to_end(self):
+        world = self._world()
+        assert len(world.ground_truth()) >= 1
+        hu = run_simulation(world, RectangularSafeRegionStrategy(
+            HuBaselineComputer(), name="Hu"))
+        # the client sits silent inside its unsafe region while crossing
+        # the straddling alarm: the trigger is missed or delivered late
+        assert hu.accuracy.missed > 0 or hu.accuracy.late > 0
+
+    def test_mwpsr_delivers_on_the_same_world(self):
+        world = self._world()
+        ours = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer(), name="MWPSR"))
+        assert ours.accuracy.perfect

@@ -1,0 +1,36 @@
+"""Shared fixtures for strategy tests: small worlds built from scratch."""
+
+import pytest
+
+from repro.alarms import AlarmRegistry, install_random_alarms
+from repro.engine import World
+from repro.index import GridOverlay
+from repro.mobility import MobilityConfig, TraceGenerator
+from repro.roadnet import NetworkConfig, generate_network
+
+
+def make_world(map_seed=1, trace_seed=2, alarm_seed=3, vehicles=10,
+               duration=180.0, alarms=150, public_fraction=0.2,
+               side_m=4000.0, cell_area_km2=1.0,
+               alarm_min_side=120.0, alarm_max_side=400.0):
+    """A compact, fully deterministic world for protocol tests."""
+    network_config = NetworkConfig(universe_side_m=side_m,
+                                   lattice_spacing_m=400.0)
+    network = generate_network(network_config, seed=map_seed)
+    mobility = MobilityConfig(vehicle_count=vehicles, duration_s=duration)
+    traces = TraceGenerator(network, mobility, seed=trace_seed).generate()
+    registry = AlarmRegistry()
+    install_random_alarms(registry, network_config.universe, alarms,
+                          traces.vehicle_ids(),
+                          public_fraction=public_fraction,
+                          min_side_m=alarm_min_side,
+                          max_side_m=alarm_max_side, seed=alarm_seed)
+    grid = GridOverlay(network_config.universe, cell_area_km2)
+    return World(universe=network_config.universe, grid=grid,
+                 registry=registry, traces=traces)
+
+
+@pytest.fixture(scope="session")
+def world():
+    """Default shared world (session-scoped: strategies don't mutate it)."""
+    return make_world()

@@ -1,0 +1,52 @@
+"""Tests for the adaptive containment-scheduling extension."""
+
+import pytest
+
+from repro.engine import run_simulation
+from repro.strategies import (AdaptiveRectangularStrategy,
+                              RectangularSafeRegionStrategy)
+from repro.saferegion import MWPSRComputer
+from .conftest import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(vehicles=8, duration=180.0)
+
+
+class TestAdaptiveRectangular:
+    def test_accuracy_contract_intact(self, world):
+        strategy = AdaptiveRectangularStrategy(max_speed=world.max_speed())
+        result = run_simulation(world, strategy)
+        assert result.accuracy.perfect
+
+    def test_fewer_probes_than_plain(self, world):
+        plain = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer()))
+        adaptive = run_simulation(world, AdaptiveRectangularStrategy(
+            max_speed=world.max_speed()))
+        assert adaptive.metrics.containment_checks < \
+            plain.metrics.containment_checks * 0.7
+        assert adaptive.client_energy_mwh < plain.client_energy_mwh
+
+    def test_same_uplink_behaviour(self, world):
+        """Skipping probes must not change *when* the client reports."""
+        plain = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer()))
+        adaptive = run_simulation(world, AdaptiveRectangularStrategy(
+            max_speed=world.max_speed()))
+        # the first probe after the skip window lands on the same exit
+        # sample the plain strategy sees, so message counts match closely
+        assert adaptive.metrics.uplink_messages <= \
+            plain.metrics.uplink_messages * 1.05
+
+    def test_various_speed_bounds_stay_safe(self, world):
+        for factor in (1.0, 1.5, 3.0):
+            strategy = AdaptiveRectangularStrategy(
+                max_speed=world.max_speed() * factor)
+            result = run_simulation(world, strategy)
+            assert result.accuracy.perfect, factor
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ValueError):
+            AdaptiveRectangularStrategy(max_speed=0.0)

@@ -1,0 +1,48 @@
+"""Tests for server-side heading estimation (paper Fig. 1(a))."""
+
+import pytest
+
+from repro.engine import run_simulation
+from repro.mobility import SteadyMotionModel
+from repro.saferegion import MWPSRComputer
+from repro.strategies import RectangularSafeRegionStrategy
+from .conftest import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(vehicles=8, duration=150.0)
+
+
+class TestHeadingSource:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RectangularSafeRegionStrategy(heading_source="oracle")
+
+    def test_server_side_heading_keeps_the_contract(self, world):
+        strategy = RectangularSafeRegionStrategy(
+            MWPSRComputer(SteadyMotionModel(1, 8)),
+            heading_source="server")
+        result = run_simulation(world, strategy)
+        assert result.accuracy.perfect
+
+    def test_server_side_heading_close_to_client_side(self, world):
+        """The Fig. 1(a) estimate tracks the device heading closely
+        enough that message counts stay in the same band."""
+        client_side = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer(SteadyMotionModel(1, 8)),
+            heading_source="client"))
+        server_side = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer(SteadyMotionModel(1, 8)),
+            heading_source="server"))
+        ratio = (server_side.metrics.uplink_messages
+                 / client_side.metrics.uplink_messages)
+        assert 0.7 < ratio < 1.4
+
+    def test_state_reset_between_runs(self, world):
+        strategy = RectangularSafeRegionStrategy(
+            MWPSRComputer(), heading_source="server")
+        first = run_simulation(world, strategy)
+        second = run_simulation(world, strategy)
+        assert first.metrics.uplink_messages == \
+            second.metrics.uplink_messages

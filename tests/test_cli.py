@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tiny" in out and "bench" in out and "paper" in out
+        assert "5a" in out and "6d" in out
+        assert "mwpsr" in out
+
+
+class TestWorld:
+    def test_describes_tiny_world(self, capsys):
+        assert main(["world", "--workload", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "alarms" in out
+        assert "vehicles" in out
+        assert "ground truth" in out
+
+    def test_public_override(self, capsys):
+        assert main(["world", "--workload", "tiny",
+                     "--public", "0.5"]) == 0
+        assert "50% public" in capsys.readouterr().out
+
+    def test_clustered_placement(self, capsys):
+        assert main(["world", "--workload", "tiny",
+                     "--placement", "clustered"]) == 0
+        assert "clustered placement" in capsys.readouterr().out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("spec", ["periodic", "sp", "mwpsr", "mwpsr-nw",
+                                      "gbsr", "pbsr:3", "opt"])
+    def test_every_strategy_runs_clean(self, spec, capsys):
+        exit_code = main(["simulate", "--strategy", spec,
+                          "--workload", "tiny"])
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "missed 0" in out
+
+    def test_unknown_strategy_fails(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--strategy", "teleport",
+                  "--workload", "tiny"])
+
+    def test_cell_size_option(self, capsys):
+        assert main(["simulate", "--strategy", "mwpsr",
+                     "--workload", "tiny", "--cell", "0.5"]) == 0
+
+
+class TestFigure:
+    def test_figure_1b(self, capsys):
+        assert main(["figure", "1b"]) == 0
+        assert "steady-motion pdf" in capsys.readouterr().out
+
+    def test_figure_6a_tiny(self, capsys):
+        assert main(["figure", "6a", "--workload", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "MWPSR" in out and "OPT" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "9z"])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestAnalyze:
+    def test_analyze_runs(self, capsys):
+        assert main(["analyze", "--workload", "tiny", "--samples", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "Workload profile" in out
+        assert "safe-region area" in out
+        assert "Proposition 3" in out

@@ -1,0 +1,98 @@
+"""The code in docs/EXTENDING.md must actually work."""
+
+import pytest
+
+from repro.engine import run_simulation
+from repro.geometry import Rect
+from repro.saferegion import RectangularSafeRegion, region_is_safe
+from repro.strategies import ProcessingStrategy
+from .strategies.conftest import make_world
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(vehicles=5, duration=120.0)
+
+
+class EveryOtherFix(ProcessingStrategy):
+    """The custom-strategy snippet (deliberately unsound)."""
+
+    name = "every-other"
+
+    def on_sample(self, client, sample):
+        if int(sample.time) % 2 == 1:
+            return
+        self._uplink_location()
+        self.server.process_location(client.user_id, sample.time,
+                                     sample.position)
+
+
+class _Result:
+    def __init__(self, rect):
+        self.rect = rect
+
+    def to_safe_region(self):
+        return RectangularSafeRegion(self.rect)
+
+
+class TinyBoxComputer:
+    """The custom safe-region computer snippet."""
+
+    SIDE = 60.0
+
+    def compute(self, position, heading, cell, obstacles):
+        box = Rect(position.x - self.SIDE, position.y - self.SIDE,
+                   position.x + self.SIDE, position.y + self.SIDE)
+        region = box.intersection(cell)
+        for obstacle in obstacles:
+            pieces = region.subtract(obstacle)
+            region = max((p for p in pieces
+                          if p.contains_point(position)),
+                         key=lambda p: p.area, default=None)
+            if region is None:
+                region = Rect.point_rect(position)
+        assert region_is_safe(region, obstacles)
+        return _Result(region)
+
+
+class TestCustomStrategySnippet:
+    def test_runs_and_engine_scores_it(self, world):
+        result = run_simulation(world, EveryOtherFix())
+        # skipping fixes can only delay triggers, never invent them
+        assert result.accuracy.spurious == 0
+        # half the fixes reach the server
+        assert result.metrics.uplink_messages == pytest.approx(
+            world.traces.total_samples / 2, rel=0.05)
+
+
+class TestCustomComputerSnippet:
+    def test_sound_but_chatty(self, world):
+        from repro.saferegion import MWPSRComputer
+        from repro.strategies import RectangularSafeRegionStrategy
+
+        tiny = run_simulation(world, RectangularSafeRegionStrategy(
+            TinyBoxComputer(), name="tiny-box"))
+        assert tiny.accuracy.perfect  # sound ...
+        mwpsr = run_simulation(world, RectangularSafeRegionStrategy(
+            MWPSRComputer()))
+        assert tiny.metrics.uplink_messages > \
+            1.5 * mwpsr.metrics.uplink_messages  # ... but chatty
+
+
+class TestCustomWorldSnippet:
+    def test_world_composition(self, tmp_path):
+        from repro import GridOverlay, World
+        from repro.alarms import (AlarmRegistry, AlarmScope, load_alarms,
+                                  save_alarms)
+        from repro.mobility import load_traces, save_traces
+        from .strategies.conftest import make_world
+
+        source = make_world(vehicles=3, duration=60.0, alarms=30)
+        save_traces(source.traces, tmp_path / "t.csv")
+        save_alarms(source.registry, tmp_path / "a.jsonl")
+
+        world = World(universe=source.universe,
+                      grid=GridOverlay(source.universe, 2.5),
+                      registry=load_alarms(tmp_path / "a.jsonl"),
+                      traces=load_traces(tmp_path / "t.csv"))
+        assert world.ground_truth() == source.ground_truth()

@@ -1,0 +1,44 @@
+"""The examples are part of the product: they must run clean.
+
+Each example executes in a subprocess (its own interpreter, like a
+user's shell) and must exit 0 without writing to stderr.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """New examples must be added to the runner below."""
+    assert ALL_EXAMPLES == sorted(QUICK + SLOW)
+
+
+QUICK = ["quickstart.py", "moving_targets.py", "dataset_workflow.py",
+         "compare_strategies.py"]
+SLOW = ["commuter_alarms.py", "hazard_broadcast.py",
+        "heterogeneous_clients.py"]
+
+
+@pytest.mark.parametrize("name", QUICK)
+def test_quick_example(name):
+    _run_example(name, timeout=120)
+
+
+@pytest.mark.parametrize("name", SLOW)
+def test_slow_example(name):
+    _run_example(name, timeout=300)
+
+
+def _run_example(name, timeout):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=timeout)
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples must narrate their story"

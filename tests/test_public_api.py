@@ -1,0 +1,47 @@
+"""The public API surface: everything advertised imports and works."""
+
+import repro
+
+
+class TestPublicSurface:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert int(major) >= 1
+
+    def test_docstring_quickstart_runs(self):
+        """The snippet in the package docstring must actually work."""
+        from repro import (AlarmRegistry, AlarmScope, GridOverlay,
+                           MWPSRComputer, Point, Rect)
+
+        registry = AlarmRegistry()
+        registry.install(Rect(500, 500, 700, 700), AlarmScope.PRIVATE,
+                         owner_id=1)
+        grid = GridOverlay(Rect(0, 0, 2000, 2000), cell_area_km2=4.0)
+        me = Point(1000.0, 1000.0)
+        cell = grid.cell_rect_of_point(me)
+        alarms = registry.relevant_intersecting(1, cell)
+        region = MWPSRComputer().compute(
+            me, heading=0.0, cell=cell,
+            obstacles=[a.region for a in alarms])
+        assert region.rect.contains_point(me)
+
+    def test_subpackage_all_lists_are_consistent(self):
+        import repro.alarms
+        import repro.engine
+        import repro.experiments
+        import repro.geometry
+        import repro.index
+        import repro.mobility
+        import repro.roadnet
+        import repro.saferegion
+        import repro.strategies
+
+        for module in (repro.alarms, repro.engine, repro.experiments,
+                       repro.geometry, repro.index, repro.mobility,
+                       repro.roadnet, repro.saferegion, repro.strategies):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
