@@ -3,14 +3,34 @@
 Not a figure of the paper, but its Section 1 argument quantified: the
 periodic server's cost scales with every location fix while the
 safe-region approaches scale with safe-region exits, so the gap widens
-as the population grows.
+as the population grows.  The second half measures the *engine's* answer
+to that wall: the sharded multi-process replay, on a 10,000-vehicle
+scenario, must beat the serial replay wall-clock while producing
+bit-identical results.
 """
 
-from repro.experiments import BENCH, scalability_sweep, scalability_table
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import (BENCH, parallel_speedup_sweep,
+                               parallel_speedup_table, scalability_sweep,
+                               scalability_table)
 
 from .conftest import print_table
 
 POPULATIONS = (30, 60, 120)
+
+# The parallel engine's scenario: the paper's full client population at
+# a shortened horizon, so the replay is dominated by per-sample server
+# work (the quantity sharding distributes) yet stays benchmark-sized.
+# Two simulated minutes keep replay an order of magnitude above the
+# sharding overhead (fork + copy-on-write faults + result merge).
+PARALLEL_POPULATION = 10_000
+PARALLEL_CONFIG = replace(BENCH, vehicle_count=PARALLEL_POPULATION,
+                          duration_s=120.0)
+PARALLEL_WORKERS = 4
 
 
 def test_scalability(benchmark):
@@ -44,3 +64,33 @@ def test_scalability(benchmark):
                     / max(1, results[small][
                         "MWPSR(y=1,z=32)"].metrics.uplink_messages))
     assert mwpsr_growth <= prd_growth * 1.2
+
+
+def test_parallel_speedup(benchmark):
+    """Sharded replay of 10k vehicles: identical results, less wall time."""
+    results = benchmark.pedantic(
+        parallel_speedup_sweep,
+        args=(PARALLEL_CONFIG, (1, PARALLEL_WORKERS)),
+        rounds=1, iterations=1)
+    print_table(parallel_speedup_table(results))
+    serial = results[1]
+    sharded = results[PARALLEL_WORKERS]
+
+    # The differential guarantee at benchmark scale: every deterministic
+    # counter, the trigger sequence and the accuracy verdict are
+    # bit-identical however many workers replayed the world.
+    assert sharded.metrics.counters() == serial.metrics.counters()
+    assert sharded.metrics.triggers == serial.metrics.triggers
+    assert serial.accuracy.perfect
+    assert sharded.accuracy.perfect
+
+    # Wall-clock speedup needs actual cores; on starved machines the
+    # correctness half above still ran, so only the timing claim skips.
+    cores = os.cpu_count() or 1
+    if cores < PARALLEL_WORKERS:
+        pytest.skip("speedup assertion needs >= %d cores, have %d"
+                    % (PARALLEL_WORKERS, cores))
+    assert serial.wall_time_s >= 1.5 * sharded.wall_time_s, (
+        "expected >= 1.5x speedup at %d workers: serial %.2fs, sharded "
+        "%.2fs" % (PARALLEL_WORKERS, serial.wall_time_s,
+                   sharded.wall_time_s))

@@ -15,16 +15,18 @@ strategy over a workload preset and prints the headline metrics.
 from __future__ import annotations
 
 import argparse
+import functools
 import sys
 from typing import Callable, Dict, List, Optional
 
-from .engine import run_simulation
+from .engine import PhaseProfiler, run_parallel_simulation, run_simulation
 from .experiments import (BENCH, PAPER, TINY, WorkloadConfig, build_world,
                           coverage_size_tradeoff, figure1b, figure4a,
                           figure4b, figure5a, figure5b, figure6a, figure6b,
                           figure6c, figure6d, make_mwpsr_strategy,
-                          make_pbsr_strategy, residence_statistics,
-                          safe_region_statistics, workload_profile)
+                          make_pbsr_strategy, profile_report,
+                          residence_statistics, safe_region_statistics,
+                          workload_profile)
 from .strategies import (OptimalStrategy, PeriodicStrategy,
                          SafePeriodStrategy)
 
@@ -115,10 +117,25 @@ def _cmd_world(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _resolve_workload(args)
     world = build_world(config, args.cell)
-    strategy = _resolve_strategy(args.strategy, world.max_speed())
-    result = run_simulation(world, strategy)
+    if args.workers < 1:
+        raise SystemExit("--workers must be a positive integer")
+    if args.workers > 1:
+        # The sharded engine constructs one strategy per worker process,
+        # so it takes a picklable factory rather than an instance.
+        factory = functools.partial(_resolve_strategy, args.strategy,
+                                    world.max_speed())
+        result = run_parallel_simulation(world, factory,
+                                         workers=args.workers,
+                                         profile=args.profile)
+    else:
+        strategy = _resolve_strategy(args.strategy, world.max_speed())
+        profiler = PhaseProfiler() if args.profile else None
+        result = run_simulation(world, strategy, profiler=profiler)
     metrics = result.metrics
     print("strategy:             %s" % result.strategy_name)
+    if result.workers > 1:
+        print("workers:              %d shards, %.2f s wall"
+              % (result.workers, result.wall_time_s))
     print("uplink messages:      %d (%.2f%% of %d fixes)"
           % (metrics.uplink_messages, 100 * result.message_fraction,
              result.total_samples))
@@ -136,6 +153,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           % (result.accuracy.delivered, result.accuracy.expected,
              result.accuracy.missed, result.accuracy.spurious,
              result.accuracy.late))
+    if args.profile:
+        print(profile_report(result))
     return 0 if result.accuracy.perfect else 1
 
 
@@ -200,6 +219,12 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run one strategy over a workload")
     simulate_parser.add_argument("--strategy", required=True,
                                  help=STRATEGY_HELP)
+    simulate_parser.add_argument("--workers", type=int, default=1,
+                                 help="shard the replay over N worker "
+                                      "processes (default 1: serial)")
+    simulate_parser.add_argument("--profile", action="store_true",
+                                 help="print a per-phase wall-time JSON "
+                                      "report after the run")
     add_workload_options(simulate_parser)
     simulate_parser.set_defaults(handler=_cmd_simulate)
 

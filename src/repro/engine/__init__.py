@@ -7,13 +7,23 @@ from .groundtruth import (AccuracyReport, compute_ground_truth,
                           verify_accuracy)
 from .metrics import Metrics, TriggerEvent
 from .network import MessageSizes
+from .parallel import (default_worker_count, run_parallel_simulation,
+                       shard_traces)
+from .profiling import PhaseProfiler, PhaseStat, merge_reports
 from .server import AlarmServer
 from .tracking import (TargetTrack, compute_tracking_ground_truth,
                        run_tracking_simulation)
-from .simulation import (SimulationResult, World, run_interleaved_simulation,
-                         run_simulation)
+from .simulation import (SimulationResult, World, replay_vehicle_major,
+                         run_interleaved_simulation, run_simulation)
 
 __all__ = [
+    "PhaseProfiler",
+    "PhaseStat",
+    "default_worker_count",
+    "merge_reports",
+    "replay_vehicle_major",
+    "run_parallel_simulation",
+    "shard_traces",
     "AccuracyReport",
     "AlarmSchedule",
     "AlarmServer",

@@ -8,8 +8,8 @@ and the reporting layer so the counters stay model-independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Sequence, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -66,3 +66,57 @@ class Metrics:
         if duration_s <= 0 or client_count <= 0:
             return 0.0
         return self.containment_checks / duration_s / client_count
+
+    # ------------------------------------------------------------------
+    # Merge contract (the parallel engine's reduction step)
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, float]:
+        """Every deterministic scalar counter, by field name.
+
+        Excludes the wall-clock timing fields (machine-dependent) and the
+        trigger list (compared structurally) — this is the signature the
+        differential tests assert bit-identical across serial and sharded
+        runs.
+        """
+        timing = {"alarm_processing_time_s", "saferegion_time_s"}
+        return {f.name: getattr(self, f.name) for f in fields(self)
+                if f.name not in timing and f.name != "triggers"}
+
+    @classmethod
+    def merged(cls, parts: Sequence["Metrics"]) -> "Metrics":
+        """Combine per-shard metrics into one run's metrics.
+
+        The contract the parallel engine relies on:
+
+        * every scalar counter (and timing bucket) is the exact sum of
+          the parts' counters;
+        * trigger events are concatenated in part order — shards are
+          contiguous slices of the serial replay order, so part-order
+          concatenation reproduces the serial trigger sequence exactly;
+        * one-shot semantics survive the merge: a ``(user, alarm)`` pair
+          fired in two different parts means two shards processed the
+          same subscriber, which violates the vehicle-major sharding
+          precondition and raises ``ValueError``.
+        """
+        merged = cls()
+        fired: Set[Tuple[int, int]] = set()
+        for part in parts:
+            for f in fields(cls):
+                if f.name == "triggers":
+                    continue
+                setattr(merged, f.name,
+                        getattr(merged, f.name) + getattr(part, f.name))
+            for event in part.triggers:
+                key = (event.user_id, event.alarm_id)
+                if key in fired:
+                    raise ValueError(
+                        "one-shot violation in merge: alarm %d re-fired "
+                        "for user %d across shards" % (event.alarm_id,
+                                                       event.user_id))
+                fired.add(key)
+                merged.triggers.append(event)
+        return merged
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Fold ``other`` into a new :class:`Metrics` (see :meth:`merged`)."""
+        return Metrics.merged([self, other])

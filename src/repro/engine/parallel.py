@@ -1,0 +1,226 @@
+"""Sharded, multi-process simulation engine.
+
+The serial engine replays every vehicle in one process — fine for the
+paper's figures, a wall for the roadmap's "millions of users".  This
+module breaks it by exploiting the engine's documented independence
+property: alarm targets are static within a run and one-shot state is
+per subscriber, so vehicles never interact.  The trace set therefore
+partitions *vehicle-major* into contiguous shards, each shard replays in
+its own worker process against its own :class:`AlarmServer` (own
+one-shot table, own index copy), and the per-shard
+:class:`~repro.engine.metrics.Metrics` fold back together through the
+merge contract (:meth:`Metrics.merged`).
+
+Determinism guarantee — the property the differential test suite
+(``tests/engine/test_parallel_equivalence.py``) enforces:
+
+* shards are contiguous slices of the serial replay order, so
+  concatenating shard trigger lists in shard order reproduces the serial
+  trigger sequence *exactly*;
+* every deterministic counter (messages, bytes, probes, evaluations,
+  index node accesses) is a per-vehicle sum, so the shard sums equal the
+  serial totals bit-for-bit;
+* only the wall-clock timing buckets differ (they measure real time on
+  real hardware), which is the entire point.
+
+One caveat: the optional per-cell alarm cache memoizes per *server*, so
+each shard re-fills its own cache and ``index_node_accesses`` may count
+cache-fill queries once per shard instead of once per run.  Everything
+else remains identical; the differential suite pins this down.
+
+Workers receive (registry, grid, shard, sizes, strategy factory) rather
+than a :class:`World` — worlds may carry non-picklable memoization hooks
+— and return plain metrics plus an optional profile report, keeping the
+process boundary cheap and explicit.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..mobility import TraceSet
+from .groundtruth import verify_accuracy
+from .metrics import Metrics
+from .profiling import PhaseProfiler, merge_reports
+from .server import AlarmServer
+from .simulation import SimulationResult, World, replay_vehicle_major
+
+#: A picklable zero-argument callable producing a fresh strategy.
+#: Module-level functions, classes and :func:`functools.partial` of
+#: either all qualify; lambdas and closures do not cross the process
+#: boundary.
+StrategyFactory = Callable[[], object]
+
+_ShardOutcome = Tuple[Metrics, Optional[Dict[str, Dict[str, float]]], float]
+
+
+def default_worker_count() -> int:
+    """Worker count when the caller does not choose: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def shard_traces(traces: TraceSet, shards: int) -> List[TraceSet]:
+    """Partition a trace set into contiguous vehicle-major shards.
+
+    The chunks follow the trace set's iteration order — the exact order
+    the serial engine replays — and sizes differ by at most one vehicle.
+    Requesting more shards than vehicles yields one shard per vehicle;
+    an empty trace set yields no shards.
+    """
+    if shards < 1:
+        raise ValueError("shard count must be positive")
+    ordered = list(traces)
+    count = len(ordered)
+    shards = min(shards, count)
+    sharded: List[TraceSet] = []
+    start = 0
+    for index in range(shards):
+        # First (count % shards) shards carry one extra vehicle.
+        size = count // shards + (1 if index < count % shards else 0)
+        chunk = ordered[start:start + size]
+        start += size
+        sharded.append(TraceSet({trace.vehicle_id: trace for trace in chunk},
+                                traces.sample_interval))
+    return sharded
+
+
+#: Shard payload inherited by fork()ed workers: set in the parent
+#: immediately before pool creation, cleared after the run.  Fork
+#: children snapshot the parent's memory, so they read the registry,
+#: grid and their shard's traces directly instead of round-tripping
+#: tens of megabytes of trace samples through the pool's pickle queue —
+#: the overhead that would otherwise cancel the parallel speedup.
+_INHERITED: Optional[Tuple[Any, ...]] = None
+
+
+def _worker_init() -> None:
+    """Worker bootstrap: freeze the inherited heap out of the gc.
+
+    A fork child shares the parent's (potentially huge) world heap
+    copy-on-write; a single gc pass in the child would touch every
+    inherited object header and fault-copy the lot.  Freezing moves the
+    inherited objects to the permanent generation, so the child's gc
+    only ever scans what the child itself allocates.
+    """
+    gc.collect()
+    gc.freeze()
+
+
+def _replay_inherited_shard(index: int) -> _ShardOutcome:
+    """Fork-path worker body: replay shard ``index`` of ``_INHERITED``."""
+    assert _INHERITED is not None, "inherited state missing in fork child"
+    (registry, grid, shards, sizes, strategy_factory, use_cell_cache,
+     profile) = _INHERITED
+    return _replay_shard(registry, grid, shards[index], sizes,
+                         strategy_factory, use_cell_cache, profile)
+
+
+def _replay_shard(registry, grid, traces: TraceSet, sizes,
+                  strategy_factory: StrategyFactory,
+                  use_cell_cache: bool, profile: bool) -> _ShardOutcome:
+    """Worker body: replay one shard against a private server.
+
+    Top-level by design (process pools pickle the callable).  Returns
+    the shard's metrics, its profile report (when requested) and its
+    replay wall time.
+    """
+    strategy = strategy_factory()
+    metrics = Metrics()
+    profiler = PhaseProfiler() if profile else None
+    server = AlarmServer(registry, grid, metrics, sizes=sizes,
+                         use_cell_cache=use_cell_cache, profiler=profiler)
+    strategy.attach(server)
+    started = time.perf_counter()
+    try:
+        replay_vehicle_major(strategy, traces)
+    finally:
+        server.close()
+    wall_time = time.perf_counter() - started
+    return (metrics, profiler.report() if profiler is not None else None,
+            wall_time)
+
+
+def run_parallel_simulation(world: World,
+                            strategy_factory: StrategyFactory,
+                            workers: Optional[int] = None,
+                            use_cell_cache: bool = False,
+                            profile: bool = False) -> SimulationResult:
+    """Replay the world sharded over ``workers`` processes and merge.
+
+    Drop-in equivalent of :func:`~repro.engine.simulation.run_simulation`
+    up to wall-clock timing: the merged metrics, trigger sequence and
+    accuracy report are bit-identical to the serial engine's.  The
+    strategy is constructed *per shard* by ``strategy_factory`` (each
+    worker needs its own instance; per-run server-side strategy state is
+    keyed by user id, and shards hold disjoint users, so per-shard
+    instances are exact).
+
+    ``workers=1`` runs the single shard in-process — no pool, no pickle
+    — which keeps the differential baseline and small runs cheap.
+    ``result.wall_time_s`` covers sharding, worker dispatch, replay and
+    merge (everything but ground-truth scoring), so measured speedups
+    include the parallelism overhead they paid.
+    """
+    if workers is None:
+        workers = default_worker_count()
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    # The factory must be constructible in the parent too: the result
+    # needs the strategy's display name, and failing fast here beats a
+    # pickle traceback out of a worker.
+    strategy_name = strategy_factory().name
+
+    started = time.perf_counter()
+    shards = shard_traces(world.traces, workers)
+    outcomes: List[_ShardOutcome] = []
+    if len(shards) <= 1:
+        for shard in shards:  # zero or one shard: stay in-process
+            outcomes.append(_replay_shard(
+                world.registry, world.grid, shard, world.sizes,
+                strategy_factory, use_cell_cache, profile))
+    elif multiprocessing.get_start_method() == "fork":
+        # Fast path: fork children inherit the shard payload through
+        # copy-on-write memory, so only a shard *index* crosses the
+        # process boundary going in and only per-shard metrics coming
+        # back.  Workers are spawned at submit time, after the global is
+        # set; clearing it afterwards keeps runs re-entrant-safe.
+        global _INHERITED
+        _INHERITED = (world.registry, world.grid, shards, world.sizes,
+                      strategy_factory, use_cell_cache, profile)
+        try:
+            with ProcessPoolExecutor(max_workers=len(shards),
+                                     initializer=_worker_init) as pool:
+                futures = [pool.submit(_replay_inherited_shard, index)
+                           for index in range(len(shards))]
+                outcomes = [future.result() for future in futures]
+        finally:
+            _INHERITED = None
+    else:  # spawn/forkserver: ship the shards through the pickle queue
+        with ProcessPoolExecutor(max_workers=len(shards),
+                                 initializer=_worker_init) as pool:
+            futures = [pool.submit(_replay_shard, world.registry, world.grid,
+                                   shard, world.sizes, strategy_factory,
+                                   use_cell_cache, profile)
+                       for shard in shards]
+            outcomes = [future.result() for future in futures]  # shard order
+
+    metrics = Metrics.merged([outcome[0] for outcome in outcomes])
+    profile_report = (merge_reports([outcome[1] for outcome in outcomes])
+                      if profile else None)
+    wall_time = time.perf_counter() - started
+
+    accuracy = verify_accuracy(world.ground_truth(), metrics)
+    return SimulationResult(strategy_name=strategy_name, metrics=metrics,
+                            accuracy=accuracy,
+                            duration_s=world.duration_s,
+                            client_count=len(world.traces),
+                            total_samples=world.traces.total_samples,
+                            wall_time_s=wall_time,
+                            energy_model=world.energy,
+                            profile=profile_report,
+                            workers=len(shards) if shards else 1)

@@ -1,0 +1,111 @@
+"""Per-phase wall-time profiling of the server's processing pipeline.
+
+The paper's server-load figures report two coarse buckets (alarm
+processing vs safe-region computation); making the parallel engine's
+speedups *measurable* needs finer resolution.  A :class:`PhaseProfiler`
+accumulates wall time and call counts per named phase; the engine
+threads one through :class:`~repro.engine.server.AlarmServer` when
+profiling is requested, and the strategies mark their work with it.
+
+The phases instrumented by the built-in strategies:
+
+``alarm_processing``    trigger evaluation per received location report
+                        (the R*-tree point query plus one-shot filter).
+``index_lookup``        alarm-index range/nearest queries feeding a
+                        safe-region or safe-period computation.
+``saferegion_compute``  the geometric computation proper (MWPSR skyline
+                        selection, pyramid bitmap construction, safe
+                        period arithmetic, OPT alarm-list assembly).
+``encoding``            producing the downlink payload (wire sizing /
+                        bitmap serialization accounting).
+
+Profilers merge associatively (:meth:`PhaseProfiler.merge`), so per-shard
+profiles from the parallel engine fold into one report; reports are plain
+dicts (JSON-ready, picklable across process boundaries).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence
+
+#: The phase names the built-in strategies record, in pipeline order.
+STANDARD_PHASES = ("alarm_processing", "index_lookup",
+                   "saferegion_compute", "encoding")
+
+
+@dataclass
+class PhaseStat:
+    """Accumulated cost of one named phase."""
+
+    calls: int = 0
+    wall_s: float = 0.0
+
+    def add(self, seconds: float, calls: int = 1) -> None:
+        self.calls += calls
+        self.wall_s += seconds
+
+
+class PhaseProfiler:
+    """Accumulates per-phase wall time over one (or many merged) runs."""
+
+    def __init__(self) -> None:
+        self.phases: Dict[str, PhaseStat] = {}
+
+    # ------------------------------------------------------------------
+    def record(self, phase: str, seconds: float, calls: int = 1) -> None:
+        """Charge ``seconds`` of wall time (and ``calls`` calls) to a phase."""
+        stat = self.phases.get(phase)
+        if stat is None:
+            stat = PhaseStat()
+            self.phases[phase] = stat
+        stat.add(seconds, calls)
+
+    @contextmanager
+    def timed(self, phase: str) -> Iterator[None]:
+        """Time a block into ``phase``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(phase, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":
+        """Fold another profiler's phases into this one (associative)."""
+        for phase, stat in other.phases.items():
+            self.record(phase, stat.wall_s, stat.calls)
+        return self
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(stat.wall_s for stat in self.phases.values())
+
+    # ------------------------------------------------------------------
+    # Report form: plain dicts, JSON-ready and cheap to ship between
+    # processes (the parallel workers return reports, not profilers).
+    # ------------------------------------------------------------------
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """``{phase: {"calls": n, "wall_s": t}}``, sorted by phase name."""
+        return {phase: {"calls": stat.calls, "wall_s": stat.wall_s}
+                for phase, stat in sorted(self.phases.items())}
+
+    @classmethod
+    def from_report(cls, report: Optional[Dict[str, Dict[str, float]]]
+                    ) -> "PhaseProfiler":
+        """Rebuild a profiler from a :meth:`report` dict (``None`` -> empty)."""
+        profiler = cls()
+        for phase, stat in (report or {}).items():
+            profiler.record(phase, stat["wall_s"], int(stat["calls"]))
+        return profiler
+
+
+def merge_reports(reports: Sequence[Optional[Dict[str, Dict[str, float]]]]
+                  ) -> Dict[str, Dict[str, float]]:
+    """Merge per-shard profile reports into one combined report."""
+    merged = PhaseProfiler()
+    for report in reports:
+        merged.merge(PhaseProfiler.from_report(report))
+    return merged.report()

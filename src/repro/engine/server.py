@@ -12,14 +12,17 @@ of the paper's server-load figures (Fig. 4(b), Fig. 6(d)).
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
-from typing import Iterator, List, Set, Tuple
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Dict, Iterator, List, Optional, Set, Tuple
 
 from ..alarms import AlarmRegistry, SpatialAlarm
 from ..geometry import Point, Rect
 from ..index import GridOverlay
 from .metrics import Metrics, TriggerEvent
 from .network import MessageSizes
+from .profiling import PhaseProfiler
+
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
 
 
 class AlarmServer:
@@ -28,13 +31,16 @@ class AlarmServer:
     def __init__(self, registry: AlarmRegistry, grid: GridOverlay,
                  metrics: Metrics,
                  sizes: MessageSizes = MessageSizes(),
-                 use_cell_cache: bool = False) -> None:
+                 use_cell_cache: bool = False,
+                 profiler: Optional[PhaseProfiler] = None) -> None:
         self.registry = registry
         self.grid = grid
         self.metrics = metrics
         self.sizes = sizes
+        # Optional per-phase wall-time profiling (see engine.profiling).
+        self.profiler = profiler
         # One-shot bookkeeping: alarm ids already fired, per user.
-        self._fired: dict = {}
+        self._fired: Dict[int, Set[int]] = {}
         # Optional per-cell alarm cache (safe-region hot path): the grid
         # is fixed, so each cell's alarm list can be memoized and served
         # with relevance filtering instead of an R*-tree range query.
@@ -77,7 +83,8 @@ class AlarmServer:
         work is timed into the *alarm processing* bucket.
         """
         fired = self.fired_for(user_id)
-        with self._timed_alarm_processing():
+        with self._timed_alarm_processing(), \
+                self.profiled("alarm_processing"):
             triggered = self.registry.triggered_at(user_id, position,
                                                    exclude_ids=fired)
         self.metrics.alarm_evaluations += 1
@@ -98,19 +105,21 @@ class AlarmServer:
     def pending_alarms_in(self, user_id: int,
                           rect: Rect) -> List[SpatialAlarm]:
         """Pending (unfired) relevant alarms interior-overlapping ``rect``."""
-        if self._cell_cache is not None:
-            cell = self.grid.cell_of(rect.center)
-            if self.grid.cell_rect(cell) == rect:
-                return self._cell_cache.relevant_pending(
-                    user_id, cell, exclude_ids=self.fired_for(user_id))
-        return self.registry.relevant_intersecting(
-            user_id, rect, exclude_ids=self.fired_for(user_id))
+        with self.profiled("index_lookup"):
+            if self._cell_cache is not None:
+                cell = self.grid.cell_of(rect.center)
+                if self.grid.cell_rect(cell) == rect:
+                    return self._cell_cache.relevant_pending(
+                        user_id, cell, exclude_ids=self.fired_for(user_id))
+            return self.registry.relevant_intersecting(
+                user_id, rect, exclude_ids=self.fired_for(user_id))
 
     def pending_nearest_distance(self, user_id: int,
                                  position: Point) -> float:
         """Distance to the nearest pending relevant alarm region."""
-        return self.registry.nearest_relevant_distance(
-            user_id, position, exclude_ids=self.fired_for(user_id))
+        with self.profiled("index_lookup"):
+            return self.registry.nearest_relevant_distance(
+                user_id, position, exclude_ids=self.fired_for(user_id))
 
     def close(self) -> None:
         """Release run-scoped resources (detach the cell cache, if any)."""
@@ -121,6 +130,17 @@ class AlarmServer:
     # ------------------------------------------------------------------
     # Timing buckets
     # ------------------------------------------------------------------
+    def profiled(self, phase: str) -> ContextManager[None]:
+        """Time a block into the profiler's ``phase`` (no-op when off).
+
+        Strategies mark their phase boundaries with this; with no
+        profiler attached it returns a shared null context, keeping the
+        unprofiled hot path allocation-free.
+        """
+        if self.profiler is None:
+            return _NULL_CONTEXT
+        return self.profiler.timed(phase)
+
     @contextmanager
     def _timed_alarm_processing(self) -> Iterator[None]:
         accesses_before = self.registry.tree.stats.node_accesses

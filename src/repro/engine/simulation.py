@@ -29,6 +29,7 @@ from .groundtruth import (AccuracyReport, compute_ground_truth,
                           verify_accuracy)
 from .metrics import Metrics
 from .network import MessageSizes
+from .profiling import PhaseProfiler
 from .server import AlarmServer
 
 
@@ -92,6 +93,11 @@ class SimulationResult:
     total_samples: int
     wall_time_s: float
     energy_model: EnergyModel
+    #: Per-phase profile report (``PhaseProfiler.report()``), present only
+    #: when the run was profiled.
+    profile: Optional[Dict[str, Dict[str, float]]] = None
+    #: Worker count of the sharded engine (1 for serial runs).
+    workers: int = 1
 
     @property
     def client_energy_mwh(self) -> float:
@@ -113,26 +119,41 @@ class SimulationResult:
         return self.metrics.uplink_messages / self.total_samples
 
 
+def replay_vehicle_major(strategy, traces: TraceSet) -> None:
+    """The core replay loop: each vehicle's trace, one client at a time.
+
+    Shared by the serial engine and every shard of the parallel engine —
+    determinism of the sharded path reduces to this loop visiting the
+    same vehicles in the same order within each contiguous shard.
+    """
+    from ..strategies.base import ClientState  # local import: avoid cycle
+
+    for trace in traces:
+        client = ClientState(trace.vehicle_id)
+        for sample in trace:
+            strategy.on_sample(client, sample)
+
+
 def run_simulation(world: World, strategy,
-                   use_cell_cache: bool = False) -> SimulationResult:
+                   use_cell_cache: bool = False,
+                   profiler: Optional[PhaseProfiler] = None
+                   ) -> SimulationResult:
     """Replay the world's traces through ``strategy`` and score the run.
 
     ``use_cell_cache`` enables the server's per-cell alarm cache (see
     :class:`~repro.alarms.CellAlarmCache`) — identical results, less
-    index work per safe-region computation.
+    index work per safe-region computation.  ``profiler`` attaches
+    per-phase wall-time accounting (see :mod:`repro.engine.profiling`);
+    the report lands on ``result.profile``.
     """
-    from ..strategies.base import ClientState  # local import: avoid cycle
-
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
-                         sizes=world.sizes, use_cell_cache=use_cell_cache)
+                         sizes=world.sizes, use_cell_cache=use_cell_cache,
+                         profiler=profiler)
     strategy.attach(server)
     started = time.perf_counter()
     try:
-        for trace in world.traces:
-            client = ClientState(trace.vehicle_id)
-            for sample in trace:
-                strategy.on_sample(client, sample)
+        replay_vehicle_major(strategy, world.traces)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
@@ -144,7 +165,9 @@ def run_simulation(world: World, strategy,
                             client_count=len(world.traces),
                             total_samples=world.traces.total_samples,
                             wall_time_s=wall_time,
-                            energy_model=world.energy)
+                            energy_model=world.energy,
+                            profile=(profiler.report() if profiler is not None
+                                     else None))
 
 
 def run_interleaved_simulation(

@@ -34,10 +34,13 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Optional
+
 from ..geometry import Rect
 from .dynamic import _clone_registry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
+from .profiling import PhaseProfiler
 from .server import AlarmServer
 from .simulation import SimulationResult, World
 
@@ -96,7 +99,8 @@ def compute_tracking_ground_truth(world: World,
 
 
 def run_tracking_simulation(world: World, strategy,
-                            tracks: Sequence[TargetTrack]
+                            tracks: Sequence[TargetTrack],
+                            profiler: Optional[PhaseProfiler] = None
                             ) -> SimulationResult:
     """Time-major replay with per-step target moves and invalidation."""
     from ..strategies.base import ClientState  # local import: avoid cycle
@@ -104,7 +108,8 @@ def run_tracking_simulation(world: World, strategy,
     track_ids = {track.alarm_id for track in tracks}
     registry = _clone_registry(world.registry)
     metrics = Metrics()
-    server = AlarmServer(registry, world.grid, metrics, sizes=world.sizes)
+    server = AlarmServer(registry, world.grid, metrics, sizes=world.sizes,
+                         profiler=profiler)
     strategy.attach(server)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
@@ -137,7 +142,9 @@ def run_tracking_simulation(world: World, strategy,
                             client_count=len(world.traces),
                             total_samples=world.traces.total_samples,
                             wall_time_s=wall_time,
-                            energy_model=world.energy)
+                            energy_model=world.energy,
+                            profile=(profiler.report() if profiler is not None
+                                     else None))
 
 
 def _stale_after_moves(client, server: AlarmServer, registry,

@@ -9,8 +9,9 @@ from .configs import (BENCH, DEFAULT_CELL_AREA_KM2, PAPER, TINY,
 from .figures import (figure1b, figure4a, figure4b, figure5a, figure5b,
                       figure6a, figure6b, figure6c, figure6d,
                       make_mwpsr_strategy, make_pbsr_strategy)
-from .report import Table
-from .scalability import scalability_sweep, scalability_table
+from .report import Table, profile_report
+from .scalability import (parallel_speedup_sweep, parallel_speedup_table,
+                          scalability_sweep, scalability_table)
 from .viz import render_cell, render_legend
 
 __all__ = [
@@ -22,6 +23,9 @@ __all__ = [
     "workload_profile",
     "render_cell",
     "render_legend",
+    "parallel_speedup_sweep",
+    "parallel_speedup_table",
+    "profile_report",
     "scalability_sweep",
     "scalability_table",
     "DEFAULT_CELL_AREA_KM2",

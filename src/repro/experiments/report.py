@@ -7,7 +7,11 @@ the tables are the artifact, and EXPERIMENTS.md snapshots them.
 
 from __future__ import annotations
 
-from typing import Any, List, Sequence
+import json
+from typing import TYPE_CHECKING, Any, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import SimulationResult
 
 
 class Table:
@@ -42,6 +46,30 @@ class Table:
             lines.append("  ".join(value.ljust(width)
                                    for value, width in zip(row, widths)))
         return "\n".join(lines)
+
+
+def profile_report(result: "SimulationResult", indent: int = 2) -> str:
+    """JSON per-phase profile of a (possibly sharded) simulation run.
+
+    The payload carries the run's identity (strategy, worker count), the
+    end-to-end replay wall time, and the per-phase breakdown recorded by
+    the run's :class:`~repro.engine.profiling.PhaseProfiler` — for a
+    sharded run the phases are the merged totals over all workers, so
+    ``phases_wall_s`` can legitimately exceed ``wall_time_s`` (that
+    surplus *is* the parallelism).  Stable key order makes the report
+    diffable across runs.
+    """
+    phases = result.profile or {}
+    payload = {
+        "strategy": result.strategy_name,
+        "workers": result.workers,
+        "clients": result.client_count,
+        "total_samples": result.total_samples,
+        "wall_time_s": result.wall_time_s,
+        "phases_wall_s": sum(stat["wall_s"] for stat in phases.values()),
+        "phases": phases,
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def _format(value: Any) -> str:

@@ -17,9 +17,10 @@ argument for the distributed architecture.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..engine import SimulationResult, run_simulation
+from ..engine import SimulationResult, run_parallel_simulation, run_simulation
+from ..engine.parallel import StrategyFactory
 from ..strategies import PeriodicStrategy, SafePeriodStrategy
 from .configs import DEFAULT_CELL_AREA_KM2, WorkloadConfig, build_world
 from .figures import make_mwpsr_strategy, make_pbsr_strategy
@@ -47,6 +48,45 @@ def scalability_sweep(config: WorkloadConfig,
             per_strategy[strategy.name] = run_simulation(world, strategy)
         results[population] = per_strategy
     return results
+
+
+def parallel_speedup_sweep(config: WorkloadConfig,
+                           worker_counts: Sequence[int] = (1, 2, 4),
+                           strategy_factory: Optional[StrategyFactory] = None,
+                           cell_area_km2: float = DEFAULT_CELL_AREA_KM2
+                           ) -> Dict[int, SimulationResult]:
+    """One sharded run of the same world per worker count.
+
+    The counterpart of :func:`scalability_sweep` for the *engine's* own
+    scalability: same workload, same strategy, replayed through the
+    sharded engine at each worker count.  The differential guarantee
+    makes every run's metrics identical; only ``wall_time_s`` moves,
+    which is what the speedup table reports.  Defaults to the periodic
+    strategy — uniformly heavy per sample, so replay cost dominates and
+    the measured scaling reflects the engine, not strategy silences.
+    """
+    world = build_world(config, cell_area_km2)
+    world.ground_truth()  # score once up front, outside every timed run
+    factory = strategy_factory if strategy_factory else PeriodicStrategy
+    return {workers: run_parallel_simulation(world, factory, workers=workers)
+            for workers in worker_counts}
+
+
+def parallel_speedup_table(results: Dict[int, SimulationResult]) -> Table:
+    """Render a worker sweep as wall time and speedup over one worker."""
+    worker_counts = sorted(results)
+    baseline = results[worker_counts[0]].wall_time_s
+    table = Table("Parallel engine: wall time vs worker count",
+                  ["workers", "wall s", "speedup", "uplink msgs",
+                   "triggers"])
+    for workers in worker_counts:
+        result = results[workers]
+        speedup = (baseline / result.wall_time_s
+                   if result.wall_time_s > 0 else 0.0)
+        table.add_row(workers, round(result.wall_time_s, 2),
+                      round(speedup, 2), result.metrics.uplink_messages,
+                      len(result.metrics.triggers))
+    return table
 
 
 def scalability_table(results: Dict[int, Dict[str, SimulationResult]]

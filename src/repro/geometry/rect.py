@@ -268,13 +268,17 @@ class Rect:
         if columns < 1 or rows < 1:
             raise ValueError("grid_split requires positive factors")
         # Ratio-form edges: adjacent (and nested) cells share boundaries
-        # as bit-identical floats.
+        # as bit-identical floats.  The outermost edges are taken from
+        # the parent directly — ``min + width * k / k`` can round past
+        # ``max``, which would let a border cell poke outside.
         for row in range(rows - 1, -1, -1):
             for col in range(columns):
                 yield Rect(self.min_x + self.width * col / columns,
                            self.min_y + self.height * row / rows,
-                           self.min_x + self.width * (col + 1) / columns,
-                           self.min_y + self.height * (row + 1) / rows)
+                           self.max_x if col + 1 == columns
+                           else self.min_x + self.width * (col + 1) / columns,
+                           self.max_y if row + 1 == rows
+                           else self.min_y + self.height * (row + 1) / rows)
 
 
 def total_disjoint_area(rects: Iterable[Rect]) -> float:

@@ -58,6 +58,17 @@ class ProcessingStrategy:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
+    def _profiled(self, phase: str):
+        """Per-phase profiling context (no-op unless the run profiles).
+
+        Strategies wrap their safe-region computation proper in
+        ``self._profiled("saferegion_compute")`` and their downlink
+        payload production in ``self._profiled("encoding")``; the
+        server's own methods mark ``alarm_processing`` and
+        ``index_lookup`` internally.
+        """
+        return self.server.profiled(phase)
+
     def _uplink_location(self) -> None:
         self.server.receive_location(self.server.sizes.uplink_location)
 

@@ -73,10 +73,13 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
         with server.timed_saferegion():
             pending = server.pending_alarms_in(client.user_id, cell)
             public, personal = _split_by_scope(pending)
-            region = self.computer.compute(cell, public, personal)
+            with self._profiled("saferegion_compute"):
+                region = self.computer.compute(cell, public, personal)
         client.safe_region = region
         client.cell_rect = cell
-        server.send_downlink(server.sizes.bitmap_message(region.size_bits()))
+        with self._profiled("encoding"):
+            payload = server.sizes.bitmap_message(region.size_bits())
+        server.send_downlink(payload)
 
 
 def _split_by_scope(alarms: List[SpatialAlarm]

@@ -55,10 +55,14 @@ class OptimalStrategy(ProcessingStrategy):
         self._uplink_location()
         server = self.server
         server.process_location(client.user_id, sample.time, sample.position)
+        # OPT's "safe-region computation" is pure alarm-list assembly, so
+        # the server's internal index_lookup profiling already covers it.
         with server.timed_saferegion():
             cell = server.current_cell(sample.position)
             client.local_alarms = server.pending_alarms_in(client.user_id,
                                                            cell)
         client.cell_rect = cell
-        server.send_downlink(
-            server.sizes.alarm_push_message(len(client.local_alarms)))
+        with self._profiled("encoding"):
+            payload = server.sizes.alarm_push_message(
+                len(client.local_alarms))
+        server.send_downlink(payload)

@@ -61,13 +61,16 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
         with server.timed_saferegion():
             cell = server.current_cell(sample.position)
             pending = server.pending_alarms_in(client.user_id, cell)
-            result = self.computer.compute(sample.position, heading,
-                                           cell,
-                                           [alarm.region
-                                            for alarm in pending])
+            with self._profiled("saferegion_compute"):
+                result = self.computer.compute(sample.position, heading,
+                                               cell,
+                                               [alarm.region
+                                                for alarm in pending])
         client.safe_region = result.to_safe_region()
         client.cell_rect = cell
-        server.send_downlink(server.sizes.rect_message())
+        with self._profiled("encoding"):
+            payload = server.sizes.rect_message()
+        server.send_downlink(payload)
 
     def _heading_for(self, user_id: int, sample: TraceSample) -> float:
         """Heading per the configured source.

@@ -48,8 +48,12 @@ class SafePeriodStrategy(ProcessingStrategy):
         with server.timed_saferegion():
             distance = server.pending_nearest_distance(client.user_id,
                                                        sample.position)
-        if math.isinf(distance):
-            client.expiry = math.inf
-        else:
-            client.expiry = sample.time + distance / self.max_speed
-        server.send_downlink(server.sizes.safe_period_message())
+            with self._profiled("saferegion_compute"):
+                if math.isinf(distance):
+                    expiry = math.inf
+                else:
+                    expiry = sample.time + distance / self.max_speed
+        client.expiry = expiry
+        with self._profiled("encoding"):
+            payload = server.sizes.safe_period_message()
+        server.send_downlink(payload)

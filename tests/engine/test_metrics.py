@@ -34,6 +34,104 @@ class TestMetrics:
         assert metrics.checks_per_second(0.0, 10) == 0.0
 
 
+class TestMergeGolden:
+    """Pins the merge contract's aggregation to hand-computed values.
+
+    These numbers are written out by hand on purpose: if the merge ever
+    changes what it sums or how it orders triggers, this test fails even
+    when the differential suite's serial-vs-sharded comparison would
+    still (vacuously) agree with itself.
+    """
+
+    @staticmethod
+    def _shard_a():
+        return Metrics(uplink_messages=10, uplink_bytes=320,
+                       downlink_messages=4, downlink_bytes=192,
+                       trigger_notifications=2, containment_checks=100,
+                       containment_ops=250, alarm_processing_time_s=0.5,
+                       saferegion_time_s=1.25, alarm_evaluations=10,
+                       safe_region_computations=4, index_node_accesses=37,
+                       triggers=[TriggerEvent(3.0, 1, 11),
+                                 TriggerEvent(9.0, 2, 12)])
+
+    @staticmethod
+    def _shard_b():
+        return Metrics(uplink_messages=7, uplink_bytes=224,
+                       downlink_messages=3, downlink_bytes=144,
+                       trigger_notifications=1, containment_checks=60,
+                       containment_ops=90, alarm_processing_time_s=0.25,
+                       saferegion_time_s=0.5, alarm_evaluations=7,
+                       safe_region_computations=3, index_node_accesses=13,
+                       triggers=[TriggerEvent(2.0, 3, 11)])
+
+    def test_message_counts(self):
+        merged = Metrics.merged([self._shard_a(), self._shard_b()])
+        assert merged.uplink_messages == 17
+        assert merged.uplink_bytes == 544
+        assert merged.downlink_messages == 7
+        assert merged.downlink_bytes == 336
+        assert merged.trigger_notifications == 3
+
+    def test_energy_counters(self):
+        merged = Metrics.merged([self._shard_a(), self._shard_b()])
+        assert merged.containment_checks == 160
+        assert merged.containment_ops == 340
+        # The energy model charges ops, so merged energy follows exactly.
+        assert EnergyModel(check_op_j=1.0).client_energy_j(merged) == 340.0
+
+    def test_server_time(self):
+        merged = Metrics.merged([self._shard_a(), self._shard_b()])
+        assert merged.alarm_processing_time_s == 0.75
+        assert merged.saferegion_time_s == 1.75
+        assert merged.server_time_s == 2.5
+        assert merged.alarm_evaluations == 17
+        assert merged.safe_region_computations == 7
+        assert merged.index_node_accesses == 50
+
+    def test_triggers_concatenate_in_part_order(self):
+        merged = Metrics.merged([self._shard_a(), self._shard_b()])
+        assert merged.triggers == [TriggerEvent(3.0, 1, 11),
+                                   TriggerEvent(9.0, 2, 12),
+                                   TriggerEvent(2.0, 3, 11)]
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = Metrics.merged([])
+        assert merged == Metrics()
+
+    def test_single_part_roundtrip(self):
+        assert Metrics.merged([self._shard_a()]) == self._shard_a()
+
+    def test_merge_is_associative_over_counters(self):
+        a, b = self._shard_a(), self._shard_b()
+        left = Metrics.merged([Metrics.merged([a, b]), Metrics()])
+        right = Metrics.merged([a, Metrics.merged([b])])
+        assert left == right
+
+    def test_pairwise_merge_method(self):
+        merged = self._shard_a().merge(self._shard_b())
+        assert merged.uplink_messages == 17
+        assert len(merged.triggers) == 3
+
+    def test_parts_left_untouched(self):
+        part = self._shard_a()
+        Metrics.merged([part, self._shard_b()])
+        assert part.uplink_messages == 10
+        assert len(part.triggers) == 2
+
+    def test_duplicate_fired_pair_rejected(self):
+        clash = Metrics(triggers=[TriggerEvent(4.0, 1, 11)])
+        with pytest.raises(ValueError, match="one-shot"):
+            Metrics.merged([self._shard_a(), clash])
+
+    def test_counters_excludes_timing_and_triggers(self):
+        counters = self._shard_a().counters()
+        assert "alarm_processing_time_s" not in counters
+        assert "saferegion_time_s" not in counters
+        assert "triggers" not in counters
+        assert counters["uplink_messages"] == 10
+        assert counters["index_node_accesses"] == 37
+
+
 class TestMessageSizes:
     def test_rect_message(self):
         sizes = MessageSizes()
