@@ -20,7 +20,7 @@ immutable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import FrozenSet, Optional
 
@@ -55,7 +55,8 @@ class SpatialAlarm:
 
     def __post_init__(self) -> None:
         if self.scope is AlarmScope.SHARED and not self.subscribers:
-            raise ValueError("a shared alarm needs an explicit subscriber list")
+            raise ValueError(
+                "a shared alarm needs an explicit subscriber list")
         if self.scope is AlarmScope.PRIVATE and self.subscribers:
             raise ValueError("a private alarm has no subscriber list")
 

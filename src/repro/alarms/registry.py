@@ -35,7 +35,9 @@ class AlarmRegistry:
         """Subscribe to alarm mutations (caches, invalidation logic)."""
         self._listeners.append(callback)
 
-    def remove_listener(self, callback) -> None:
+    def remove_listener(self, callback: Callable[[int, Optional[Rect],
+                                                  Optional[Rect]],
+                                                 None]) -> None:
         """Unsubscribe a mutation listener (no-op when absent)."""
         try:
             self._listeners.remove(callback)

@@ -20,15 +20,16 @@ import sys
 from typing import Callable, Dict, List, Optional
 
 from .engine import PhaseProfiler, run_parallel_simulation, run_simulation
-from .experiments import (BENCH, PAPER, TINY, WorkloadConfig, build_world,
-                          coverage_size_tradeoff, figure1b, figure4a,
-                          figure4b, figure5a, figure5b, figure6a, figure6b,
-                          figure6c, figure6d, make_mwpsr_strategy,
+from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
+                          build_world, coverage_size_tradeoff, figure1b,
+                          figure4a, figure4b, figure5a, figure5b, figure6a,
+                          figure6b, figure6c, figure6d, make_mwpsr_strategy,
                           make_pbsr_strategy, profile_report,
                           residence_statistics, safe_region_statistics,
                           workload_profile)
+from .lintkit.cli import add_lint_arguments, run_lint_command
 from .strategies import (OptimalStrategy, PeriodicStrategy,
-                         SafePeriodStrategy)
+                         ProcessingStrategy, SafePeriodStrategy)
 
 WORKLOADS: Dict[str, WorkloadConfig] = {
     "tiny": TINY,
@@ -36,7 +37,7 @@ WORKLOADS: Dict[str, WorkloadConfig] = {
     "paper": PAPER,
 }
 
-FIGURES: Dict[str, Callable] = {
+FIGURES: Dict[str, Callable[..., Table]] = {
     "1b": figure1b,
     "4a": figure4a,
     "4b": figure4b,
@@ -62,7 +63,7 @@ def _resolve_workload(args: argparse.Namespace) -> WorkloadConfig:
     return config
 
 
-def _resolve_strategy(spec: str, max_speed: float):
+def _resolve_strategy(spec: str, max_speed: float) -> ProcessingStrategy:
     name, _, parameter = spec.partition(":")
     name = name.lower()
     if name == "periodic":
@@ -199,7 +200,8 @@ def build_parser() -> argparse.ArgumentParser:
                                        "strategies").set_defaults(
         handler=_cmd_list)
 
-    def add_workload_options(sub, with_cell=True):
+    def add_workload_options(sub: argparse.ArgumentParser,
+                             with_cell: bool = True) -> None:
         sub.add_argument("--workload", choices=sorted(WORKLOADS),
                          default="tiny", help="workload preset")
         sub.add_argument("--public", type=float, default=None,
@@ -241,13 +243,20 @@ def build_parser() -> argparse.ArgumentParser:
     add_workload_options(figure_parser, with_cell=False)
     figure_parser.set_defaults(handler=_cmd_figure)
 
+    lint_parser = subparsers.add_parser(
+        "lint", help="run the domain-invariant linter "
+                     "(docs/STATIC_ANALYSIS.md)")
+    add_lint_arguments(lint_parser)
+    lint_parser.set_defaults(handler=run_lint_command)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    handler: Callable[[argparse.Namespace], int] = args.handler
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

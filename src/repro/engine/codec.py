@@ -19,7 +19,7 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 from enum import IntEnum
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..geometry import Point, Rect
 from ..index import Pyramid
@@ -194,7 +194,7 @@ def decode_bitmap_region(data: bytes, pyramid: Pyramid
     cell_ref, bit_count = _BITMAP_FIXED.unpack(
         payload[:_BITMAP_FIXED.size])
     packed = payload[_BITMAP_FIXED.size:]
-    bits = []
+    bits: List[str] = []
     for index in range(bit_count):
         byte = packed[index // 8]
         bits.append("1" if byte & (1 << (7 - index % 8)) else "0")

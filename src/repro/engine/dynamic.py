@@ -29,15 +29,19 @@ Runs clone the world's registry, so the (memoized) world is untouched.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Set,
+                    Tuple, Union)
 
-from ..alarms import AlarmRegistry, AlarmScope
+from ..alarms import AlarmRegistry, AlarmScope, SpatialAlarm
 from ..geometry import Rect
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
 from .server import AlarmServer
-from .simulation import SimulationResult, World
+from .simulation import GroundTruth, SimulationResult, World
+
+if TYPE_CHECKING:  # runtime import would cycle through strategies.base
+    from ..strategies.base import ClientState, ProcessingStrategy
 
 
 @dataclass(frozen=True)
@@ -72,10 +76,14 @@ class RemoveAction:
                 "specify exactly one of install_index / alarm_id")
 
 
+#: Either lifecycle action kind; schedules hold a mix of both.
+ScheduleAction = Union[InstallAction, RemoveAction]
+
+
 class AlarmSchedule:
     """A time-ordered list of alarm lifecycle actions."""
 
-    def __init__(self, actions: Iterable) -> None:
+    def __init__(self, actions: Iterable[ScheduleAction]) -> None:
         actions = list(actions)
         for action in actions:
             if not isinstance(action, (InstallAction, RemoveAction)):
@@ -93,7 +101,7 @@ class AlarmSchedule:
                         "not yet scheduled" % (action.time,
                                                action.install_index))
 
-    def due(self, start: float, end: float) -> List:
+    def due(self, start: float, end: float) -> List[ScheduleAction]:
         """Actions with ``start <= time < end``, in order."""
         return [action for action in self.actions
                 if start <= action.time < end]
@@ -123,9 +131,10 @@ class _ScheduleApplier:
         self.schedule = schedule
         self.installed_ids: List[int] = []
 
-    def apply(self, start: float, end: float) -> Tuple[List, List[int]]:
+    def apply(self, start: float,
+              end: float) -> Tuple[List[SpatialAlarm], List[int]]:
         """Apply due actions; returns (installed alarms, removed ids)."""
-        installed = []
+        installed: List[SpatialAlarm] = []
         removed: List[int] = []
         for action in self.schedule.due(start, end):
             if isinstance(action, InstallAction):
@@ -138,6 +147,7 @@ class _ScheduleApplier:
                 if action.install_index is not None:
                     alarm_id = self.installed_ids[action.install_index]
                 else:
+                    assert action.alarm_id is not None  # __post_init__
                     alarm_id = action.alarm_id
                 if self.registry.remove(alarm_id):
                     removed.append(alarm_id)
@@ -145,14 +155,14 @@ class _ScheduleApplier:
 
 
 def compute_dynamic_ground_truth(world: World,
-                                 schedule: AlarmSchedule) -> Dict:
+                                 schedule: AlarmSchedule) -> GroundTruth:
     """Expected triggers under the schedule's alarm lifetimes."""
     registry = _clone_registry(world.registry)
     applier = _ScheduleApplier(registry, schedule)
     interval = world.traces.sample_interval
     max_steps = max((len(trace) for trace in world.traces), default=0)
-    fired: Dict[int, set] = {trace.vehicle_id: set()
-                             for trace in world.traces}
+    fired: Dict[int, Set[int]] = {trace.vehicle_id: set()
+                                  for trace in world.traces}
     expected: Dict[Tuple[int, int], float] = {}
     previous_time = float("-inf")
     for step in range(max_steps):
@@ -172,7 +182,7 @@ def compute_dynamic_ground_truth(world: World,
     return expected
 
 
-def run_dynamic_simulation(world: World, strategy,
+def run_dynamic_simulation(world: World, strategy: "ProcessingStrategy",
                            schedule: AlarmSchedule) -> SimulationResult:
     """Time-major replay with lifecycle actions and push invalidation."""
     from ..strategies.base import ClientState  # local import: avoid cycle
@@ -220,7 +230,8 @@ def run_dynamic_simulation(world: World, strategy,
                             energy_model=world.energy)
 
 
-def _stale_after_install(client, alarm) -> bool:
+def _stale_after_install(client: "ClientState",
+                         alarm: SpatialAlarm) -> bool:
     """Does a fresh install make this client's cached state unsafe?"""
     if not alarm.is_relevant_to(client.user_id):
         return False
@@ -237,7 +248,8 @@ def _stale_after_install(client, alarm) -> bool:
     return True  # non-geometric state (safe-period timer): always stale
 
 
-def _invalidate(client, server: AlarmServer, push_bytes: int) -> None:
+def _invalidate(client: "ClientState", server: AlarmServer,
+                push_bytes: int) -> None:
     """Server push: drop the client's cached state; it re-syncs next fix."""
     client.safe_region = None
     client.cell_rect = None

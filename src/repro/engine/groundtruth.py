@@ -17,7 +17,7 @@ sample).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Set, Tuple
 
 from ..alarms import AlarmRegistry
 from ..mobility import TraceSet
@@ -35,7 +35,7 @@ def compute_ground_truth(registry: AlarmRegistry,
     """
     expected: Dict[TriggerKey, float] = {}
     for trace in traces:
-        fired: set = set()
+        fired: Set[int] = set()
         for sample in trace:
             triggered = registry.triggered_at(trace.vehicle_id,
                                               sample.position,

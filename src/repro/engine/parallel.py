@@ -41,20 +41,27 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Tuple)
 
+from ..alarms import AlarmRegistry
+from ..index import GridOverlay
 from ..mobility import TraceSet
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
+from .network import MessageSizes
 from .profiling import PhaseProfiler, merge_reports
 from .server import AlarmServer
 from .simulation import SimulationResult, World, replay_vehicle_major
+
+if TYPE_CHECKING:  # runtime import would cycle through strategies.base
+    from ..strategies.base import ProcessingStrategy
 
 #: A picklable zero-argument callable producing a fresh strategy.
 #: Module-level functions, classes and :func:`functools.partial` of
 #: either all qualify; lambdas and closures do not cross the process
 #: boundary.
-StrategyFactory = Callable[[], object]
+StrategyFactory = Callable[[], "ProcessingStrategy"]
 
 _ShardOutcome = Tuple[Metrics, Optional[Dict[str, Dict[str, float]]], float]
 
@@ -120,7 +127,8 @@ def _replay_inherited_shard(index: int) -> _ShardOutcome:
                          strategy_factory, use_cell_cache, profile)
 
 
-def _replay_shard(registry, grid, traces: TraceSet, sizes,
+def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
+                  traces: TraceSet, sizes: MessageSizes,
                   strategy_factory: StrategyFactory,
                   use_cell_cache: bool, profile: bool) -> _ShardOutcome:
     """Worker body: replay one shard against a private server.

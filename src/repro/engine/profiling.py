@@ -95,7 +95,7 @@ class PhaseProfiler:
     @classmethod
     def from_report(cls, report: Optional[Dict[str, Dict[str, float]]]
                     ) -> "PhaseProfiler":
-        """Rebuild a profiler from a :meth:`report` dict (``None`` -> empty)."""
+        """Rebuild a profiler from a :meth:`report` dict (None -> empty)."""
         profiler = cls()
         for phase, stat in (report or {}).items():
             profiler.record(phase, stat["wall_s"], int(stat["calls"]))

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager, nullcontext
-from typing import ContextManager, Dict, Iterator, List, Optional, Set, Tuple
+from typing import (TYPE_CHECKING, ContextManager, Dict, Iterator, List,
+                    Optional, Set)
 
 from ..alarms import AlarmRegistry, SpatialAlarm
 from ..geometry import Point, Rect
@@ -21,6 +22,9 @@ from ..index import GridOverlay
 from .metrics import Metrics, TriggerEvent
 from .network import MessageSizes
 from .profiling import PhaseProfiler
+
+if TYPE_CHECKING:  # imported lazily at runtime (only when caching is on)
+    from ..alarms.cellcache import CellAlarmCache
 
 _NULL_CONTEXT: ContextManager[None] = nullcontext()
 
@@ -44,7 +48,7 @@ class AlarmServer:
         # Optional per-cell alarm cache (safe-region hot path): the grid
         # is fixed, so each cell's alarm list can be memoized and served
         # with relevance filtering instead of an R*-tree range query.
-        self._cell_cache = None
+        self._cell_cache: Optional["CellAlarmCache"] = None
         if use_cell_cache:
             from ..alarms.cellcache import CellAlarmCache
             self._cell_cache = CellAlarmCache(registry, grid)

@@ -17,20 +17,26 @@ relocation must be observed by all clients in timestamp order.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..index import GridOverlay
 from ..mobility import TraceSet
 from .energy import EnergyModel
-from .groundtruth import (AccuracyReport, compute_ground_truth,
+from .groundtruth import (AccuracyReport, TriggerKey, compute_ground_truth,
                           verify_accuracy)
 from .metrics import Metrics
 from .network import MessageSizes
 from .profiling import PhaseProfiler
 from .server import AlarmServer
+
+if TYPE_CHECKING:  # runtime import would cycle through strategies.base
+    from ..strategies.base import ProcessingStrategy
+
+#: Ground truth: ``(user_id, alarm_id) -> expected trigger time``.
+GroundTruth = Dict[TriggerKey, float]
 
 
 class World:
@@ -40,15 +46,15 @@ class World:
                  registry: AlarmRegistry, traces: TraceSet,
                  sizes: MessageSizes = MessageSizes(),
                  energy: EnergyModel = EnergyModel(),
-                 ground_truth_supplier: Optional[Callable[[], Dict]] = None
-                 ) -> None:
+                 ground_truth_supplier: Optional[Callable[[], GroundTruth]]
+                 = None) -> None:
         self.universe = universe
         self.grid = grid
         self.registry = registry
         self.traces = traces
         self.sizes = sizes
         self.energy = energy
-        self._ground_truth: Optional[Dict] = None
+        self._ground_truth: Optional[GroundTruth] = None
         # Optional externally-memoized supplier so worlds differing only
         # in grid size can share the (grid-independent) ground truth.
         self._ground_truth_supplier = ground_truth_supplier
@@ -70,7 +76,7 @@ class World:
         """
         return self.traces.max_speed()
 
-    def ground_truth(self) -> Dict:
+    def ground_truth(self) -> GroundTruth:
         """Expected triggers, computed once and shared across runs."""
         if self._ground_truth is None:
             if self._ground_truth_supplier is not None:
@@ -119,7 +125,8 @@ class SimulationResult:
         return self.metrics.uplink_messages / self.total_samples
 
 
-def replay_vehicle_major(strategy, traces: TraceSet) -> None:
+def replay_vehicle_major(strategy: "ProcessingStrategy",
+                         traces: TraceSet) -> None:
     """The core replay loop: each vehicle's trace, one client at a time.
 
     Shared by the serial engine and every shard of the parallel engine —
@@ -134,7 +141,7 @@ def replay_vehicle_major(strategy, traces: TraceSet) -> None:
             strategy.on_sample(client, sample)
 
 
-def run_simulation(world: World, strategy,
+def run_simulation(world: World, strategy: "ProcessingStrategy",
                    use_cell_cache: bool = False,
                    profiler: Optional[PhaseProfiler] = None
                    ) -> SimulationResult:
@@ -171,7 +178,7 @@ def run_simulation(world: World, strategy,
 
 
 def run_interleaved_simulation(
-        world: World, strategy,
+        world: World, strategy: "ProcessingStrategy",
         on_step: Optional[Callable[[int, float, AlarmServer], None]] = None
 ) -> SimulationResult:
     """Time-major replay with an optional per-step world mutation hook.

@@ -32,17 +32,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
-from typing import Optional
-
+from ..alarms import AlarmRegistry
 from ..geometry import Rect
+from ..mobility import Trace
 from .dynamic import _clone_registry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
 from .profiling import PhaseProfiler
 from .server import AlarmServer
-from .simulation import SimulationResult, World
+from .simulation import GroundTruth, SimulationResult, World
+
+if TYPE_CHECKING:  # runtime import would cycle through strategies.base
+    from ..strategies.base import ClientState, ProcessingStrategy
 
 
 @dataclass(frozen=True)
@@ -66,7 +70,7 @@ class TargetTrack:
         return self.regions[min(step, len(self.regions) - 1)]
 
     @classmethod
-    def following_trace(cls, alarm_id: int, trace,
+    def following_trace(cls, alarm_id: int, trace: Trace,
                         width: float, height: float) -> "TargetTrack":
         """A track keeping the region centered on a vehicle's trace."""
         regions = tuple(Rect.from_center(sample.position, width, height)
@@ -75,12 +79,13 @@ class TargetTrack:
 
 
 def compute_tracking_ground_truth(world: World,
-                                  tracks: Sequence[TargetTrack]) -> Dict:
+                                  tracks: Sequence[TargetTrack]
+                                  ) -> GroundTruth:
     """Expected triggers with tracked alarms at their per-step regions."""
     registry = _clone_registry(world.registry)
     max_steps = max((len(trace) for trace in world.traces), default=0)
-    fired: Dict[int, set] = {trace.vehicle_id: set()
-                             for trace in world.traces}
+    fired: Dict[int, Set[int]] = {trace.vehicle_id: set()
+                                  for trace in world.traces}
     expected: Dict[Tuple[int, int], float] = {}
     for step in range(max_steps):
         for track in tracks:
@@ -98,7 +103,7 @@ def compute_tracking_ground_truth(world: World,
     return expected
 
 
-def run_tracking_simulation(world: World, strategy,
+def run_tracking_simulation(world: World, strategy: "ProcessingStrategy",
                             tracks: Sequence[TargetTrack],
                             profiler: Optional[PhaseProfiler] = None
                             ) -> SimulationResult:
@@ -147,7 +152,8 @@ def run_tracking_simulation(world: World, strategy,
                                      else None))
 
 
-def _stale_after_moves(client, server: AlarmServer, registry,
+def _stale_after_moves(client: "ClientState", server: AlarmServer,
+                       registry: AlarmRegistry,
                        moves: Sequence[Tuple[Rect, Rect, int]]) -> bool:
     """Did any tracked-alarm move make this client's cached state unsafe?"""
     relevant_moves = [
@@ -171,7 +177,8 @@ def _stale_after_moves(client, server: AlarmServer, registry,
     return True  # safe-period timers are global bounds: always stale
 
 
-def _invalidate(client, server: AlarmServer, push_bytes: int) -> None:
+def _invalidate(client: "ClientState", server: AlarmServer,
+                push_bytes: int) -> None:
     client.safe_region = None
     client.cell_rect = None
     client.expiry = float("-inf")

@@ -10,15 +10,15 @@ distributions from a world without modifying it.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..engine import World
 from ..geometry import Point, Rect
 from ..index import Pyramid
 from ..saferegion import LazyPyramidBitmap, MWPSRComputer
+from ..strategies.base import ProcessingStrategy
 from .report import Table
 
 
@@ -54,7 +54,7 @@ def _sample_scenarios(world: World, sample_count: int,
     """Draw (position, heading, cell) triples from the world's traces."""
     rng = random.Random(seed)
     vehicle_ids = world.traces.vehicle_ids()
-    scenarios = []
+    scenarios: List[Tuple[Point, float, Rect]] = []
     for _ in range(sample_count):
         trace = world.traces[rng.choice(vehicle_ids)]
         sample = trace[rng.randrange(len(trace))]
@@ -127,7 +127,7 @@ def coverage_size_tradeoff(world: World,
     return table
 
 
-def residence_statistics(world: World, strategy,
+def residence_statistics(world: World, strategy: ProcessingStrategy,
                          max_vehicles: Optional[int] = None
                          ) -> DistributionSummary:
     """Distribution of safe-region residence times (seconds).

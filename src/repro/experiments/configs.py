@@ -20,9 +20,8 @@ once per config and shared across grid-cell sweeps and strategy runs.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from ..alarms import (AlarmRegistry, install_clustered_alarms,
                       install_random_alarms)

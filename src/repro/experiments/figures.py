@@ -11,13 +11,15 @@ qualitative shape that must hold.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..engine import SimulationResult, run_simulation
-from ..mobility import SteadyMotionModel, UniformMotionModel
+from ..mobility import (MotionModel, SteadyMotionModel,
+                        UniformMotionModel)
 from ..saferegion import MWPSRComputer, PBSRComputer
 from ..strategies import (BitmapSafeRegionStrategy, OptimalStrategy,
-                          PeriodicStrategy, RectangularSafeRegionStrategy,
+                          PeriodicStrategy, ProcessingStrategy,
+                          RectangularSafeRegionStrategy,
                           SafePeriodStrategy)
 from .configs import (DEFAULT_CELL_AREA_KM2, BENCH, WorkloadConfig,
                       build_world, scaled_cell_sizes)
@@ -34,6 +36,7 @@ def make_mwpsr_strategy(y: float = 1.0, z: int = 32,
                         exhaustive: bool = False
                         ) -> RectangularSafeRegionStrategy:
     """The rectangular strategy in any of its Fig. 4 variants."""
+    model: MotionModel
     if weighted:
         model = SteadyMotionModel(y=y, z=z)
         name = "MWPSR(y=%g,z=%d)" % (y, z)
@@ -62,7 +65,7 @@ def clear_result_cache() -> None:
     _RESULT_CACHE.clear()
 
 
-def _run(config: WorkloadConfig, strategy,
+def _run(config: WorkloadConfig, strategy: ProcessingStrategy,
          cell_area_km2: float = DEFAULT_CELL_AREA_KM2) -> SimulationResult:
     key = (config, cell_area_km2, strategy.name)
     result = _RESULT_CACHE.get(key)
@@ -112,7 +115,7 @@ def figure4a(config: WorkloadConfig = BENCH,
     table = Table("Fig 4(a): client-to-server messages (rectangular)",
                   headers)
     for size in cell_sizes:
-        row = [size]
+        row: List[float] = [size]
         results = [_run(config, make_mwpsr_strategy(weighted=False),
                         cell_area_km2=size)]
         for z in zs:
@@ -186,7 +189,7 @@ def figure5b(config: WorkloadConfig = BENCH,
                   ["height"] + ["%d%% public" % round(100 * p)
                                 for p in publics])
     for height in heights:
-        row = [height]
+        row: List[float] = [height]
         for public in publics:
             result = _run(config.with_public_fraction(public),
                           make_pbsr_strategy(height))
@@ -198,7 +201,8 @@ def figure5b(config: WorkloadConfig = BENCH,
 # ----------------------------------------------------------------------
 # Fig. 6: safe region vs the other approaches
 # ----------------------------------------------------------------------
-def _fig6_strategies(world_max_speed: float, pbsr_height: int = 5):
+def _fig6_strategies(world_max_speed: float,
+                     pbsr_height: int = 5) -> List[ProcessingStrategy]:
     return [
         make_mwpsr_strategy(z=32),
         make_pbsr_strategy(pbsr_height),
@@ -242,7 +246,7 @@ def figure6b(config: WorkloadConfig = BENCH,
                   ["% public", "MWPSR", "PBSR", "OPT"])
     for public in publics:
         cfg = config.with_public_fraction(public)
-        row = [round(100 * public)]
+        row: List[float] = [round(100 * public)]
         for strategy in (make_mwpsr_strategy(z=32), make_pbsr_strategy(5),
                          OptimalStrategy()):
             row.append(_run(cfg, strategy).downstream_bandwidth_mbps)
@@ -261,7 +265,7 @@ def figure6c(config: WorkloadConfig = BENCH,
                   ["% public", "MWPSR", "PBSR", "OPT"])
     for public in publics:
         cfg = config.with_public_fraction(public)
-        row = [round(100 * public)]
+        row: List[float] = [round(100 * public)]
         for strategy in (make_mwpsr_strategy(z=32), make_pbsr_strategy(5),
                          OptimalStrategy()):
             row.append(_run(cfg, strategy).client_energy_mwh)

@@ -19,7 +19,7 @@ Used by the examples and handy in a REPL::
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from ..geometry import Point, Rect
 from ..saferegion.base import SafeRegion
@@ -62,7 +62,7 @@ def render_cell(cell: Rect, alarms: Sequence[Rect],
 
     rows: List[str] = []
     for row in range(height - 1, -1, -1):  # top row first
-        characters = []
+        characters: List[str] = []
         for col in range(width):
             p = sample_point(col, row)
             in_alarm = any(a.contains_point(p) for a in alarms)

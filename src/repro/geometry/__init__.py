@@ -1,14 +1,18 @@
 """Planar geometry substrate: points, rectangles, rectilinear regions."""
 
+from .eps import EPS, feq, fzero
 from .point import ORIGIN, Point, normalize_angle
 from .polygon import RectilinearRegion, region_from_rect_minus_holes
 from .rect import Rect, total_disjoint_area
 
 __all__ = [
+    "EPS",
     "ORIGIN",
     "Point",
     "Rect",
     "RectilinearRegion",
+    "feq",
+    "fzero",
     "normalize_angle",
     "region_from_rect_minus_holes",
     "total_disjoint_area",

@@ -1,0 +1,34 @@
+"""Tolerance-aware float comparison helpers.
+
+Geometry code must not compare floats with ``==``/``!=`` (enforced by
+lint rule RL002, see ``docs/STATIC_ANALYSIS.md``): coordinates are
+reconstructed through chains of additions and ratio splits, so two
+values that are *semantically* equal can differ in their last bits.
+Every tolerant comparison in the library goes through this module so the
+tolerance lives in exactly one place.
+
+``EPS`` is absolute, in meters (the unit of every coordinate in the
+system).  The Universe of Discourse is tens of kilometers across, where
+float64 has sub-micrometer resolution; one nanometer of slack absorbs
+round-off without ever being mistaken for real geometry.
+
+Where *exact* zero is semantically intended — e.g. the degenerate-rect
+check, where a point rectangle is built from bit-identical coordinates —
+the comparison keeps ``==`` under a ``# lint: allow=RL002`` pragma
+instead of using these helpers.
+"""
+
+from __future__ import annotations
+
+#: Absolute comparison tolerance in meters.
+EPS: float = 1e-9
+
+
+def feq(a: float, b: float, eps: float = EPS) -> bool:
+    """True when ``a`` and ``b`` differ by at most ``eps`` (absolute)."""
+    return abs(a - b) <= eps
+
+
+def fzero(value: float, eps: float = EPS) -> bool:
+    """True when ``value`` is within ``eps`` of zero."""
+    return abs(value) <= eps

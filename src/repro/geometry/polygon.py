@@ -13,6 +13,7 @@ from __future__ import annotations
 import bisect
 from typing import Iterable, List, Optional, Sequence
 
+from .eps import fzero
 from .point import Point
 from .rect import Rect
 
@@ -94,7 +95,9 @@ class RectilinearRegion:
         clipped to the container so a region extending past it (which the
         safe-region producers never generate) is not over-counted.
         """
-        if container.area == 0.0:
+        if fzero(container.area):
+            # Sub-tolerance containers have no meaningful coverage ratio
+            # (and exact zero would divide by zero below).
             return 0.0
         covered = sum(piece.intersection_area(container)
                       for piece in self._pieces)

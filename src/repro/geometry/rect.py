@@ -113,8 +113,13 @@ class Rect:
                 Point(self.max_x, self.max_y), Point(self.min_x, self.max_y))
 
     def is_degenerate(self) -> bool:
-        """True when the rectangle has zero area."""
-        return self.width == 0.0 or self.height == 0.0
+        """True when the rectangle has *exactly* zero area.
+
+        Exact-zero is intended: degenerate rectangles are constructed
+        from bit-identical coordinates (:meth:`point_rect`, zero-extent
+        ``from_center``), never approximated into existence.
+        """
+        return self.width == 0.0 or self.height == 0.0  # lint: allow=RL002
 
     # ------------------------------------------------------------------
     # Predicates

@@ -29,8 +29,8 @@ alongside wall-clock time.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from ..geometry import Point, Rect
 
@@ -188,7 +188,8 @@ class RStarTree:
         self._condense(leaf)
         self._size -= 1
         if not self._root.leaf and len(self._root.entries) == 1:
-            self._root = self._root.entries[0].child  # type: ignore[assignment]
+            self._root = (
+                self._root.entries[0].child)  # type: ignore[assignment]
             self._root.parent = None
             self._height -= 1
         return True

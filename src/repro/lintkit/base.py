@@ -1,0 +1,103 @@
+"""Rule plumbing: context object, base class and the rule registry.
+
+A rule is a small class with a stable id, a docstring stating the
+invariant it enforces (rendered by ``--explain`` and the docs), an
+optional path scope, and a ``check`` method yielding diagnostics.
+Registration happens at import time through the :func:`rule` decorator;
+``rules/__init__`` imports every rule module so importing
+:mod:`repro.lintkit` is enough to populate the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple, Type
+
+from .diagnostics import Diagnostic
+
+
+@dataclass(frozen=True)
+class RuleContext:
+    """Everything a rule may inspect about one source file.
+
+    ``rel_path`` is the path relative to the ``repro`` package root in
+    POSIX form (``"geometry/rect.py"``) and is what rule scopes match
+    against; for files outside the package it degrades to the file name.
+    ``display_path`` is what diagnostics show — the path as the caller
+    supplied it.
+    """
+
+    display_path: str
+    rel_path: str
+    source: str
+    tree: ast.Module
+    allowed: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+
+class LintRule:
+    """Base class for one named invariant check."""
+
+    #: Stable identifier, ``RLnnn``.  Diagnostics, pragmas and the
+    #: ``--rule`` selector all refer to rules by this id.
+    rule_id: str = "RL000"
+    #: One-line human title shown in listings.
+    title: str = ""
+    #: Package-relative directory prefixes (POSIX) this rule applies
+    #: to; ``None`` applies everywhere.  A file matches when its
+    #: ``rel_path`` starts with ``prefix + "/"`` or equals the prefix.
+    scopes: Optional[Tuple[str, ...]] = None
+    #: Package-relative file paths exempt from the rule even in scope.
+    exempt_files: Tuple[str, ...] = ()
+
+    def applies_to(self, rel_path: str) -> bool:
+        """Scope filter: does this rule run over ``rel_path`` at all?"""
+        if rel_path in self.exempt_files:
+            return False
+        if self.scopes is None:
+            return True
+        return any(rel_path == scope or rel_path.startswith(scope + "/")
+                   for scope in self.scopes)
+
+    def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
+        """Yield every violation of this rule in ``ctx``'s file."""
+        raise NotImplementedError
+
+    def diagnostic(self, ctx: RuleContext, node: ast.AST,
+                   message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node``."""
+        return Diagnostic(path=ctx.display_path,
+                          line=getattr(node, "lineno", 1),
+                          col=getattr(node, "col_offset", 0),
+                          rule_id=self.rule_id, message=message)
+
+
+#: Registry of rule classes keyed by rule id, populated by @rule.
+_REGISTRY: Dict[str, Type[LintRule]] = {}
+
+
+def rule(cls: Type[LintRule]) -> Type[LintRule]:
+    """Class decorator registering a rule under its ``rule_id``."""
+    if not cls.rule_id or cls.rule_id == "RL000":
+        raise ValueError("rule %r needs a non-default rule_id" % (cls,))
+    if cls.rule_id in _REGISTRY:
+        raise ValueError("duplicate rule id %s" % cls.rule_id)
+    _REGISTRY[cls.rule_id] = cls
+    return cls
+
+
+def get_rule(rule_id: str) -> Type[LintRule]:
+    """Look up a registered rule class; ``KeyError`` when unknown."""
+    _ensure_rules_loaded()
+    return _REGISTRY[rule_id]
+
+
+def ALL_RULES() -> List[Type[LintRule]]:
+    """All registered rule classes, ordered by rule id."""
+    _ensure_rules_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the subpackage runs every rule module's @rule decorator.
+    from . import rules  # noqa: F401  (import-for-side-effect)

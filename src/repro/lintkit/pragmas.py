@@ -1,0 +1,34 @@
+"""Suppression pragmas: ``# lint: allow=RL002`` / ``allow=RL002,RL004``.
+
+A pragma suppresses the named rules on its own physical line — the line
+the diagnostic anchors to, which for multi-line statements is the line
+of the offending AST node.  There is deliberately no file-wide or
+block-wide form: every suppression sits next to the code it excuses,
+with the justification in the surrounding comment or docstring.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet
+
+_PRAGMA = re.compile(
+    r"#\s*lint:\s*allow=([A-Z]{2}[0-9]{3}(?:\s*,\s*[A-Z]{2}[0-9]{3})*)")
+
+
+def collect_pragmas(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line numbers to the rule ids allowed on that line."""
+    allowed: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is not None:
+            ids = frozenset(part.strip()
+                            for part in match.group(1).split(","))
+            allowed[lineno] = ids
+    return allowed
+
+
+def is_allowed(allowed: Dict[int, FrozenSet[str]],
+               line: int, rule_id: str) -> bool:
+    """True when ``rule_id`` is suppressed on ``line``."""
+    return rule_id in allowed.get(line, frozenset())

@@ -1,0 +1,136 @@
+"""File discovery, rule dispatch and report assembly.
+
+The runner walks a file set (default: the ``repro`` package source
+tree), parses each file once, computes its package-relative path for
+rule scoping, applies every selected rule, filters diagnostics through
+the line pragmas and returns a :class:`LintReport`.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Type
+
+from .base import ALL_RULES, LintRule, RuleContext
+from .diagnostics import Diagnostic
+from .pragmas import collect_pragmas, is_allowed
+
+#: JSON report schema version; bump on breaking field changes.
+SCHEMA_VERSION = 1
+
+
+class LintError(Exception):
+    """Unrecoverable lint failure (unreadable or unparsable input)."""
+
+
+class LintReport:
+    """Outcome of one lint run."""
+
+    def __init__(self, diagnostics: Sequence[Diagnostic],
+                 files_checked: int,
+                 rule_ids: Sequence[str]) -> None:
+        self.diagnostics: List[Diagnostic] = sorted(diagnostics)
+        self.files_checked = files_checked
+        self.rule_ids: List[str] = list(rule_ids)
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics
+
+    def render_text(self) -> str:
+        """Human-readable report, one diagnostic per line."""
+        lines = [diag.render() for diag in self.diagnostics]
+        lines.append("%d file(s) checked, %d problem(s) found"
+                     % (self.files_checked, len(self.diagnostics)))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Machine-readable report (schema asserted by the test suite)."""
+        counts = {rule_id: 0 for rule_id in self.rule_ids}
+        for diag in self.diagnostics:
+            counts[diag.rule_id] = counts.get(diag.rule_id, 0) + 1
+        payload = {
+            "version": SCHEMA_VERSION,
+            "files_checked": self.files_checked,
+            "diagnostics": [diag.to_dict() for diag in self.diagnostics],
+            "counts": counts,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def package_root() -> Path:
+    """Directory of the ``repro`` package (the default lint target)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def discover_files(paths: Optional[Iterable[Path]] = None) -> List[Path]:
+    """Expand the given paths (default: the package tree) to .py files."""
+    roots = [Path(p) for p in paths] if paths else [package_root()]
+    files: List[Path] = []
+    for root in roots:
+        if root.is_dir():
+            files.extend(sorted(root.rglob("*.py")))
+        elif root.is_file():
+            files.append(root)
+        else:
+            raise LintError("no such file or directory: %s" % root)
+    return files
+
+
+def _relative_path(path: Path, root: Path) -> str:
+    """Package-relative POSIX path, or the bare name outside the root."""
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.name
+
+
+def lint_file(path: Path, rules: Sequence[LintRule],
+              respect_scopes: bool = True,
+              root: Optional[Path] = None) -> List[Diagnostic]:
+    """Run ``rules`` over one file; pragma-suppressed findings removed."""
+    root = root if root is not None else package_root()
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError("cannot read %s: %s" % (path, exc)) from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError("cannot parse %s: %s" % (path, exc)) from exc
+    ctx = RuleContext(display_path=str(path),
+                      rel_path=_relative_path(path, root),
+                      source=source, tree=tree,
+                      allowed=collect_pragmas(source))
+    found: List[Diagnostic] = []
+    for rule_obj in rules:
+        if respect_scopes and not rule_obj.applies_to(ctx.rel_path):
+            continue
+        for diag in rule_obj.check(ctx):
+            if not is_allowed(ctx.allowed, diag.line, diag.rule_id):
+                found.append(diag)
+    return found
+
+
+def run_lint(paths: Optional[Iterable[Path]] = None,
+             rule_classes: Optional[Sequence[Type[LintRule]]] = None,
+             respect_scopes: bool = True,
+             root: Optional[Path] = None) -> LintReport:
+    """Lint a file set and return the aggregated report.
+
+    ``rule_classes`` defaults to every registered rule;
+    ``respect_scopes=False`` applies every rule to every file (used by
+    the fixture tests, whose files live outside the package tree).
+    """
+    classes = list(rule_classes) if rule_classes is not None else ALL_RULES()
+    rules = [cls() for cls in classes]
+    files = discover_files(paths)
+    diagnostics: List[Diagnostic] = []
+    for path in files:
+        diagnostics.extend(lint_file(path, rules,
+                                     respect_scopes=respect_scopes,
+                                     root=root))
+    return LintReport(diagnostics, files_checked=len(files),
+                      rule_ids=[r.rule_id for r in rules])

@@ -94,7 +94,12 @@ class UniformMotionModel(MotionModel):
 
     def sector_mass(self, start: float, end: float) -> float:
         span = (end - start) % TWO_PI
-        if span == 0.0 and end != start:
+        # Exact comparison intended: only a bit-exact zero span with
+        # distinct endpoints means a full wrap (end - start an exact
+        # multiple of 2*pi).  An epsilon test would misread a genuinely
+        # tiny sector (span within eps of 0 or 2*pi) as the whole
+        # circle, turning a near-zero mass into 1.
+        if span == 0.0 and end != start:  # lint: allow=RL002
             span = TWO_PI
         return span / TWO_PI
 
@@ -195,7 +200,11 @@ class SteadyMotionModel(MotionModel):
         end = normalize_angle(end)
         if end > start:
             return self._signed_mass(end) - self._signed_mass(start)
-        if end == start:
+        # Exact comparison intended: the CCW sector is empty only when
+        # the endpoints coincide bit-for-bit.  ``end`` infinitesimally
+        # *below* ``start`` is a full-circle wrap (mass ~1), so an
+        # epsilon test here would collapse near-full sectors to zero.
+        if end == start:  # lint: allow=RL002
             return 0.0
         # The CCW sector wraps through +pi/-pi; split at the seam.
         half = self._half_mass(math.pi)

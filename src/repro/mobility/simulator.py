@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..geometry import Point, normalize_angle
 from ..roadnet import Edge, RoadNetwork
@@ -89,7 +89,7 @@ class TraceGenerator:
     # ------------------------------------------------------------------
     def generate(self) -> TraceSet:
         """Simulate every vehicle and return the full trace set."""
-        traces = {}
+        traces: Dict[int, Trace] = {}
         for vehicle_id in range(self.config.vehicle_count):
             traces[vehicle_id] = self._simulate_vehicle(vehicle_id)
         return TraceSet(traces, self.config.sample_interval_s)
@@ -159,7 +159,7 @@ class TraceGenerator:
         if not options:
             return vehicle.edge  # dead end: U-turn
         heading = self._edge_heading(vehicle.edge, vehicle.node_from)
-        weights = []
+        weights: List[float] = []
         for edge in options:
             out_heading = self._edge_heading(edge, at_node)
             deviation = normalize_angle(out_heading - heading)

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from ..geometry import Point, Rect
+from ..geometry import Point, Rect, fzero
 
 
 class RoadClass(Enum):
@@ -84,7 +84,7 @@ class RoadNetwork:
         if node_a == node_b:
             raise ValueError("self loops are not roads")
         length = self._positions[node_a].distance_to(self._positions[node_b])
-        if length == 0.0:
+        if fzero(length):
             raise ValueError("zero-length edge between distinct nodes")
         edge = Edge(node_a, node_b, road_class, length)
         self._adjacency[node_a].append(edge)
@@ -189,7 +189,7 @@ class RoadNetwork:
         counter = 0
         frontier: List[Tuple[float, int, int]] = [
             (heuristic(source), counter, source)]
-        closed = set()
+        closed: Set[int] = set()
         while frontier:
             _, _, node = heapq.heappop(frontier)
             if node == target:

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..geometry import Point, Rect, RectilinearRegion
 from ..index import Pyramid, PyramidCell
+from .base import SafeRegion
 
 
 class PyramidBitmap:
@@ -288,12 +289,13 @@ class LazyPyramidBitmap:
                                                   self.obstacles)
 
 
-class BitmapSafeRegion:
+class BitmapSafeRegion(SafeRegion):
     """A pyramid bitmap (eager or lazy) in the role of a client safe region."""
 
     __slots__ = ("bitmap",)
 
-    def __init__(self, bitmap) -> None:
+    def __init__(self, bitmap: Union[PyramidBitmap,
+                                     "LazyPyramidBitmap"]) -> None:
         self.bitmap = bitmap
 
     def probe(self, p: Point) -> Tuple[bool, int]:

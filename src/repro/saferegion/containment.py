@@ -13,14 +13,14 @@ fast path to the byte-level protocol.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..engine.codec import (MessageType, decode_bitmap_region,
                             decode_rect_region, decode_safe_period,
                             peek_type)
 from ..geometry import Point, Rect
 from ..index import Pyramid
-from .base import RectangularSafeRegion
+from .base import RectangularSafeRegion, SafeRegion
 from .bitmap import BitmapSafeRegion
 
 
@@ -37,7 +37,8 @@ class ClientMonitor:
     def __init__(self, fan: int = 3, height: int = 5) -> None:
         self.fan = fan
         self.height = height
-        self._region = None            # decoded safe region, if any
+        # decoded safe region, if any
+        self._region: Optional[SafeRegion] = None
         self._cell_rect: Optional[Rect] = None
         self._expiry: float = float("-inf")
         self.probes = 0

@@ -45,7 +45,7 @@ class HuBaselineComputer:
     """
 
     def compute(self, position: Point, heading: float, cell: Rect,
-                obstacles: Sequence[Rect]):
+                obstacles: Sequence[Rect]) -> "_HuResult":
         """Safe-region rectangle per the corner-per-quadrant construction.
 
         For each alarm-region corner, the corner constrains only the

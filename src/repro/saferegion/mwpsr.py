@@ -47,7 +47,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..geometry import Point, Rect, normalize_angle
+from ..geometry import Point, Rect, fzero, normalize_angle
 from ..mobility.motion import MotionModel, UniformMotionModel
 from .base import RectangularSafeRegion, region_is_safe
 
@@ -187,13 +187,17 @@ class MWPSRComputer:
         candidates: List[Tuple[float, float]] = []
         for obstacle in obstacles:
             if sx > 0:
-                u_lo, u_hi = obstacle.min_x - origin.x, obstacle.max_x - origin.x
+                u_lo = obstacle.min_x - origin.x
+                u_hi = obstacle.max_x - origin.x
             else:
-                u_lo, u_hi = origin.x - obstacle.max_x, origin.x - obstacle.min_x
+                u_lo = origin.x - obstacle.max_x
+                u_hi = origin.x - obstacle.min_x
             if sy > 0:
-                v_lo, v_hi = obstacle.min_y - origin.y, obstacle.max_y - origin.y
+                v_lo = obstacle.min_y - origin.y
+                v_hi = obstacle.max_y - origin.y
             else:
-                v_lo, v_hi = origin.y - obstacle.max_y, origin.y - obstacle.min_y
+                v_lo = origin.y - obstacle.max_y
+                v_hi = origin.y - obstacle.min_y
             # The obstacle constrains this quadrant only when its interior
             # reaches into the open quadrant and binds inside the cell.
             if u_hi <= 0.0 or v_hi <= 0.0:
@@ -474,7 +478,7 @@ class MWPSRComputer:
         )
         total = 0.0
         for length, start, end, cum_start, cum_end in sides:
-            if length == 0.0:
+            if fzero(length):
                 continue
             span = (end - start) % TWO_PI
             if span < 1e-12:

@@ -17,7 +17,7 @@ outright.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from ..geometry import Rect
 from ..index import DEFAULT_FAN, Pyramid

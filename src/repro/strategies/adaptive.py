@@ -23,8 +23,8 @@ from __future__ import annotations
 from typing import Optional
 
 from ..mobility import TraceSample
-from ..saferegion import MWPSRComputer
-from .base import ClientState, ProcessingStrategy
+from ..saferegion import MWPSRComputer, RectangularSafeRegion
+from .base import ClientState
 from .rectangular import RectangularSafeRegionStrategy
 
 
@@ -49,12 +49,14 @@ class AdaptiveRectangularStrategy(RectangularSafeRegionStrategy):
             return  # provably still inside; not even a probe is needed
 
         if client.safe_region is not None:
-            inside, ops = client.safe_region.probe(sample.position)
+            region = client.safe_region
+            inside, ops = region.probe(sample.position)
             self._charge_probe(ops)
             if inside:
+                # This strategy only ever installs rectangular regions.
+                assert isinstance(region, RectangularSafeRegion)
                 # schedule the next probe by the distance to the boundary
-                slack = client.safe_region.rect.boundary_distance(
-                    sample.position)
+                slack = region.rect.boundary_distance(sample.position)
                 client.expiry = sample.time + slack / self.max_speed
                 return
 

@@ -12,11 +12,15 @@ is delivered, at the sample where it occurs (verified by the engine).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, ContextManager, List, Optional
 
 from ..engine.server import AlarmServer
 from ..geometry import Rect
 from ..mobility import TraceSample
+
+if TYPE_CHECKING:
+    from ..alarms import SpatialAlarm
+    from ..saferegion.base import SafeRegion
 
 
 class ClientState:
@@ -32,10 +36,10 @@ class ClientState:
 
     def __init__(self, user_id: int) -> None:
         self.user_id = user_id
-        self.safe_region = None            # SafeRegion or None
+        self.safe_region: Optional[SafeRegion] = None
         self.cell_rect: Optional[Rect] = None
         self.expiry: float = float("-inf")  # safe-period strategy
-        self.local_alarms: list = []        # optimal strategy
+        self.local_alarms: List[SpatialAlarm] = []  # optimal strategy
 
     def __repr__(self) -> str:
         return "ClientState(user_id=%d)" % self.user_id
@@ -58,7 +62,7 @@ class ProcessingStrategy:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def _profiled(self, phase: str):
+    def _profiled(self, phase: str) -> ContextManager[None]:
         """Per-phase profiling context (no-op unless the run profiles).
 
         Strategies wrap their safe-region computation proper in

@@ -21,13 +21,22 @@ trade-off of Fig. 5.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..alarms import AlarmScope, SpatialAlarm
 from ..geometry import Rect
 from ..mobility import TraceSample
-from ..saferegion import PBSRComputer
+from ..saferegion import BitmapSafeRegion, PBSRComputer
 from .base import ClientState, ProcessingStrategy
+
+
+class BitmapComputer(Protocol):
+    """Structural interface of GBSR/PBSR safe-region computers."""
+
+    def compute(self, cell: Rect, public_obstacles: Sequence[Rect],
+                personal_obstacles: Sequence[Rect] = ()
+                ) -> BitmapSafeRegion:
+        ...
 
 
 class BitmapSafeRegionStrategy(ProcessingStrategy):
@@ -39,13 +48,16 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
     :class:`~repro.saferegion.GBSRComputer`.
     """
 
-    def __init__(self, computer=None, name: str = "PBSR") -> None:
+    def __init__(self, computer: Optional[BitmapComputer] = None,
+                 name: str = "PBSR") -> None:
         self.computer = computer if computer is not None else PBSRComputer()
         self.name = name
 
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         if (client.cell_rect is not None
                 and client.cell_rect.contains_point(sample.position)):
+            # A cell_rect is only ever installed together with a region.
+            assert client.safe_region is not None
             inside, ops = client.safe_region.probe(sample.position)
             self._charge_probe(ops)
             if inside:

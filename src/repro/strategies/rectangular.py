@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..engine.server import AlarmServer
 from ..geometry import Point
 from ..mobility import TraceSample
 from ..saferegion import MWPSRComputer
@@ -43,7 +44,7 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
         self.heading_source = heading_source
         self._last_reported: Dict[int, Point] = {}
 
-    def attach(self, server) -> None:
+    def attach(self, server: AlarmServer) -> None:
         super().attach(server)
         self._last_reported = {}  # per-run server-side state
 

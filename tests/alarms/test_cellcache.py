@@ -6,7 +6,7 @@ import pytest
 
 from repro.alarms import (AlarmRegistry, AlarmScope, CellAlarmCache,
                           install_random_alarms)
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.index import CellId, GridOverlay
 
 UNIVERSE = Rect(0, 0, 8000, 8000)

@@ -1,7 +1,6 @@
 """Tests for dynamic alarm lifecycle: mid-run installs/removals with
 push invalidation, and the accuracy contract under alarm lifetimes."""
 
-import math
 
 import pytest
 

@@ -1,4 +1,4 @@
-"""Tests for the simulation driver: determinism, result fields, interleaving."""
+"""Simulation driver tests: determinism, result fields, interleaving."""
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments import (BENCH, PAPER, TINY, WorkloadConfig,
+from repro.experiments import (BENCH, PAPER, TINY,
                                build_world, clear_caches, scaled_cell_sizes)
 
 

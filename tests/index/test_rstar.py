@@ -103,7 +103,8 @@ class TestQueriesMatchBruteForce:
         rng = random.Random(2)
         for _ in range(50):
             x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
-            query = Rect(x, y, x + rng.uniform(0, 300), y + rng.uniform(0, 300))
+            query = Rect(x, y, x + rng.uniform(0, 300),
+                         y + rng.uniform(0, 300))
             assert sorted(tree.search_intersecting(query)) == \
                 brute_intersecting(items, query)
             assert sorted(tree.search_interior_intersecting(query)) == \

@@ -1,0 +1,12 @@
+"""RL006 bad fixture: wall-clock reads in hot-path code."""
+
+import time
+from datetime import datetime
+
+
+def sample_timestamp() -> float:
+    return time.time()  # RL006: host wall clock
+
+
+def trigger_label() -> str:
+    return datetime.now().isoformat()  # RL006: host wall clock

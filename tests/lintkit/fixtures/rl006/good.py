@@ -1,0 +1,13 @@
+"""RL006 good fixture: sample clock for semantics, perf_counter for buckets."""
+
+import time
+
+
+def replay_duration(work) -> float:
+    started = time.perf_counter()  # duration bucket: sanctioned
+    work()
+    return time.perf_counter() - started
+
+
+def trigger_time(sample) -> float:
+    return sample.time  # simulation time comes from the trace

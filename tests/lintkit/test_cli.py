@@ -1,0 +1,101 @@
+"""CLI behavior: exit codes, rule selection, output formats."""
+
+import json
+
+import pytest
+
+from repro.lintkit.cli import (EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS,
+                               main)
+
+from .conftest import FIXTURES
+
+
+def test_clean_file_exits_zero(capsys):
+    code = main([str(FIXTURES / "rl006" / "good.py")])
+    assert code == EXIT_CLEAN
+    assert "0 problem(s) found" in capsys.readouterr().out
+
+
+def test_findings_exit_one_with_precise_locations(capsys):
+    # Scoped rules don't apply outside the package tree, so select the
+    # all-files rule explicitly against its bad fixture.
+    path = FIXTURES / "rl001" / "bad.py"
+    code = main([str(path), "--rule", "RL001"])
+    assert code == EXIT_FINDINGS
+    out = capsys.readouterr().out
+    # Every diagnostic line has the documented file:line:col: RULE shape.
+    diag_lines = [line for line in out.splitlines() if "RL001" in line]
+    assert diag_lines
+    for line in diag_lines:
+        location, message = line.split(" RL001 ")
+        assert message
+        file_part, line_no, col_no = location.rstrip(":").rsplit(":", 2)
+        assert file_part.endswith("bad.py")
+        assert int(line_no) > 0 and int(col_no) >= 0
+
+
+def test_rule_filter_is_case_insensitive(capsys):
+    code = main([str(FIXTURES / "rl001" / "bad.py"), "--rule", "rl001"])
+    assert code == EXIT_FINDINGS
+
+
+def test_unknown_rule_exits_two(capsys):
+    code = main(["--rule", "RL999"])
+    assert code == EXIT_ERROR
+    assert "unknown rule id" in capsys.readouterr().out
+
+
+def test_missing_path_exits_two(capsys):
+    code = main([str(FIXTURES / "does_not_exist.py")])
+    assert code == EXIT_ERROR
+    assert "error:" in capsys.readouterr().out
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def broken(:\n")
+    code = main([str(broken)])
+    assert code == EXIT_ERROR
+    assert "cannot parse" in capsys.readouterr().out
+
+
+def test_json_format(capsys):
+    code = main([str(FIXTURES / "rl001" / "bad.py"), "--rule", "RL001",
+                 "--format", "json"])
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["RL001"] == len(payload["diagnostics"]) > 0
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                    "RL006"):
+        assert rule_id in out
+
+
+@pytest.mark.parametrize("rule_id, scoped_dir", [
+    ("RL002", "geometry"),
+    ("RL003", "strategies"),
+    ("RL006", "engine"),
+])
+def test_scoped_rules_skip_out_of_scope_files(tmp_path, rule_id,
+                                              scoped_dir, capsys):
+    """A scoped rule ignores files outside its packages when linting a
+    tree that mirrors the package layout."""
+    bad_source = (FIXTURES / rule_id.lower() / "bad.py").read_text()
+    in_scope = tmp_path / scoped_dir
+    in_scope.mkdir()
+    (in_scope / "mod.py").write_text(bad_source)
+    out_of_scope = tmp_path / "experiments"
+    out_of_scope.mkdir()
+    (out_of_scope / "mod.py").write_text(bad_source)
+
+    from repro.lintkit import get_rule
+    from repro.lintkit.runner import run_lint
+
+    report = run_lint(paths=[tmp_path], rule_classes=[get_rule(rule_id)],
+                      root=tmp_path)
+    flagged_paths = {diag.path for diag in report.diagnostics}
+    assert flagged_paths == {str(in_scope / "mod.py")}

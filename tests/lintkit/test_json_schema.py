@@ -1,0 +1,54 @@
+"""The JSON report is a stable machine interface; assert its schema."""
+
+import json
+
+from repro.lintkit import get_rule
+from repro.lintkit.runner import SCHEMA_VERSION, run_lint
+
+from .conftest import FIXTURES
+
+
+def _report_payload(rule_id: str, name: str) -> dict:
+    report = run_lint(paths=[FIXTURES / rule_id.lower() / name],
+                      rule_classes=[get_rule(rule_id)],
+                      respect_scopes=False)
+    payload = json.loads(report.to_json())
+    return payload
+
+
+def test_top_level_schema():
+    payload = _report_payload("RL006", "bad.py")
+    assert set(payload) == {"version", "files_checked", "diagnostics",
+                            "counts"}
+    assert payload["version"] == SCHEMA_VERSION
+    assert payload["files_checked"] == 1
+
+
+def test_diagnostic_entry_schema():
+    payload = _report_payload("RL006", "bad.py")
+    assert payload["diagnostics"], "bad fixture must produce diagnostics"
+    for entry in payload["diagnostics"]:
+        assert set(entry) == {"path", "line", "col", "rule", "message"}
+        assert isinstance(entry["path"], str)
+        assert isinstance(entry["line"], int) and entry["line"] > 0
+        assert isinstance(entry["col"], int) and entry["col"] >= 0
+        assert entry["rule"] == "RL006"
+        assert isinstance(entry["message"], str) and entry["message"]
+
+
+def test_counts_cover_selected_rules():
+    payload = _report_payload("RL006", "bad.py")
+    assert payload["counts"] == {"RL006": len(payload["diagnostics"])}
+
+
+def test_clean_run_reports_empty_diagnostics():
+    payload = _report_payload("RL006", "good.py")
+    assert payload["diagnostics"] == []
+    assert payload["counts"] == {"RL006": 0}
+
+
+def test_diagnostics_are_sorted():
+    payload = _report_payload("RL003", "bad.py")
+    locations = [(e["path"], e["line"], e["col"])
+                 for e in payload["diagnostics"]]
+    assert locations == sorted(locations)

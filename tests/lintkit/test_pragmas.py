@@ -1,0 +1,55 @@
+"""Pragma parsing and suppression behavior."""
+
+from pathlib import Path
+
+from repro.lintkit import get_rule
+from repro.lintkit.pragmas import collect_pragmas, is_allowed
+from repro.lintkit.runner import run_lint
+
+
+def test_collect_single_rule():
+    allowed = collect_pragmas("x = 1  # lint: allow=RL002\n")
+    assert allowed == {1: frozenset({"RL002"})}
+
+
+def test_collect_multiple_rules_and_spacing():
+    allowed = collect_pragmas("a\nb  #lint: allow=RL001 , RL004\n")
+    assert allowed == {2: frozenset({"RL001", "RL004"})}
+
+
+def test_non_pragma_comments_ignored():
+    assert collect_pragmas("# lint me gently\n# allow=RL002\n") == {}
+
+
+def test_is_allowed_is_line_and_rule_scoped():
+    allowed = {3: frozenset({"RL002"})}
+    assert is_allowed(allowed, 3, "RL002")
+    assert not is_allowed(allowed, 3, "RL001")
+    assert not is_allowed(allowed, 4, "RL002")
+
+
+def test_pragma_suppresses_diagnostic(tmp_path: Path):
+    source = "def f(x: float) -> bool:\n    return x == 0.0\n"
+    flagged = tmp_path / "flagged.py"
+    flagged.write_text(source)
+    excused = tmp_path / "excused.py"
+    excused.write_text(source.replace(
+        "x == 0.0", "x == 0.0  # lint: allow=RL002"))
+
+    rule_classes = [get_rule("RL002")]
+    assert not run_lint(paths=[flagged], rule_classes=rule_classes,
+                        respect_scopes=False).ok
+    assert run_lint(paths=[excused], rule_classes=rule_classes,
+                    respect_scopes=False).ok
+
+
+def test_pragma_only_covers_its_own_line(tmp_path: Path):
+    target = tmp_path / "partial.py"
+    target.write_text(
+        "def f(x: float, y: float) -> bool:\n"
+        "    a = x == 0.0  # lint: allow=RL002\n"
+        "    b = y == 0.0\n"
+        "    return a and b\n")
+    report = run_lint(paths=[target], rule_classes=[get_rule("RL002")],
+                      respect_scopes=False)
+    assert [diag.line for diag in report.diagnostics] == [3]

@@ -1,0 +1,67 @@
+"""Per-rule fixture tests: every rule fires on bad code, not on good."""
+
+import pytest
+
+from repro.lintkit import ALL_RULES
+
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+
+#: Expected diagnostic count in each rule's bad fixture (pinned so a
+#: rule silently going blind on one shape fails loudly).
+EXPECTED_BAD_COUNTS = {
+    "RL001": 3,
+    "RL002": 3,
+    "RL003": 4,
+    "RL004": 3,
+    "RL005": 5,
+    "RL006": 2,
+}
+
+
+def test_registry_is_complete():
+    assert [cls.rule_id for cls in ALL_RULES()] == RULE_IDS
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_is_flagged(lint_fixture, rule_id):
+    diagnostics = lint_fixture(rule_id, "bad.py")
+    assert len(diagnostics) == EXPECTED_BAD_COUNTS[rule_id]
+    assert all(diag.rule_id == rule_id for diag in diagnostics)
+    # Diagnostics carry a precise location and a non-empty message.
+    for diag in diagnostics:
+        assert diag.line > 0
+        assert diag.col >= 0
+        assert diag.message
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_good_fixture_is_clean(lint_fixture, rule_id):
+    assert lint_fixture(rule_id, "good.py") == []
+
+
+def test_diagnostic_render_format(lint_fixture):
+    diag = lint_fixture("RL001", "bad.py")[0]
+    rendered = diag.render()
+    # file:line:col: RULE message — the documented stable shape.
+    assert rendered.startswith(diag.path)
+    assert (":%d:%d: RL001 " % (diag.line, diag.col)) in rendered
+
+
+def test_rl001_names_the_variable(lint_fixture):
+    messages = [d.message for d in lint_fixture("RL001", "bad.py")]
+    assert any("'p'" in message for message in messages)
+    assert any("'rect'" in message for message in messages)
+    assert any("'origin'" in message for message in messages)
+
+
+def test_rl002_flags_each_shape(lint_fixture):
+    lines = sorted(d.line for d in lint_fixture("RL002", "bad.py"))
+    assert len(lines) == 3  # literal, annotated pair, name-vs-int
+
+
+def test_rl005_missing_methods_are_named(lint_fixture):
+    messages = " ".join(d.message
+                        for d in lint_fixture("RL005", "bad.py"))
+    assert "'size_bits'" in messages
+    assert "'probe'" in messages
+    assert "read-only" in messages

@@ -1,0 +1,39 @@
+"""The external static-analysis gate, exercised when the tools exist.
+
+CI installs the pinned ``mypy``/``ruff`` from the ``dev`` extra and runs
+them as a required job (see ``.github/workflows/ci.yml``); these tests
+run the same commands through pytest so a dev box with the tools
+installed gets the identical gate, and a box without them (the tools
+are deliberately not runtime dependencies) skips cleanly instead of
+failing on a missing binary.
+"""
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC = REPO_ROOT / "src"
+
+
+def _run(command):
+    return subprocess.run(command, cwd=REPO_ROOT, capture_output=True,
+                          text=True)
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None,
+                    reason="ruff not installed (dev extra)")
+def test_ruff_clean():
+    result = _run(["ruff", "check", "src", "tests"])
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (dev extra)")
+def test_mypy_strict_clean():
+    result = _run([sys.executable, "-m", "mypy", "--strict",
+                   str(SRC / "repro")])
+    assert result.returncode == 0, result.stdout + result.stderr

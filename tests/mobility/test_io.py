@@ -1,6 +1,5 @@
 """Round-trip tests for trace persistence."""
 
-import gzip
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the vehicle mobility simulator and trace containers."""
 
-import math
 
 import pytest
 

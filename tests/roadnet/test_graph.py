@@ -1,6 +1,5 @@
 """Tests for the road-network graph model."""
 
-import math
 
 import pytest
 

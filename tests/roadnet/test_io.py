@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.geometry import Point
-from repro.roadnet import (NetworkConfig, RoadClass, RoadNetwork,
-                           generate_network, load_network, save_network)
+from repro.roadnet import (NetworkConfig, generate_network, load_network,
+                           save_network)
 
 
 @pytest.fixture(scope="module")

@@ -1,6 +1,5 @@
 """Tests for the safe-region base abstractions."""
 
-import pytest
 
 from repro.geometry import Point, Rect
 from repro.saferegion import (FLOAT_BITS, RectangularSafeRegion,

@@ -18,7 +18,6 @@ monitoring loop runs, so a disagreement between "regions are disjoint"
 and "this point is inside both" cannot hide.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

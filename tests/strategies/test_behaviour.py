@@ -10,7 +10,7 @@ import math
 import pytest
 
 from repro.alarms import AlarmRegistry, AlarmScope
-from repro.engine import AlarmServer, Metrics, World, run_simulation
+from repro.engine import World, run_simulation
 from repro.geometry import Point, Rect
 from repro.index import GridOverlay
 from repro.mobility import Trace, TraceSample, TraceSet

@@ -10,7 +10,6 @@ nothing spurious, nothing late.
 
 import math
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ safe-period approach's guarantee is explicitly conditioned on the speed
 bound, and these tests document both sides of that line.
 """
 
-import math
 
 import pytest
 

@@ -82,8 +82,7 @@ class TestCustomComputerSnippet:
 class TestCustomWorldSnippet:
     def test_world_composition(self, tmp_path):
         from repro import GridOverlay, World
-        from repro.alarms import (AlarmRegistry, AlarmScope, load_alarms,
-                                  save_alarms)
+        from repro.alarms import load_alarms, save_alarms
         from repro.mobility import load_traces, save_traces
         from .strategies.conftest import make_world
 
