@@ -9,7 +9,14 @@ the end-to-end harness cost.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Saved benchmark JSON (``--benchmark-json`` / ``--benchmark-autosave``)
+embeds a run manifest — the BENCH config, its seeds, the canonical
+config hash and the git commit — so a stored ``BENCH_*.json`` can
+always be traced back to the exact inputs that produced it.
 """
+
+from dataclasses import asdict
 
 import pytest
 
@@ -18,6 +25,15 @@ def print_table(table):
     """Print a figure table, visibly separated in benchmark output."""
     print()
     print(str(table))
+
+
+def pytest_benchmark_update_json(config, benchmarks, output_json):
+    """Stamp benchmark JSON output with the run's provenance manifest."""
+    from repro.experiments import BENCH
+    from repro.telemetry import RunManifest
+
+    output_json["run_manifest"] = RunManifest.collect(
+        strategy="benchmark-suite", config=asdict(BENCH)).to_dict()
 
 
 @pytest.fixture(scope="session", autouse=True)

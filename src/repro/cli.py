@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import functools
 import sys
+from dataclasses import asdict
 from typing import Callable, Dict, List, Optional
 
 from .engine import PhaseProfiler, run_parallel_simulation, run_simulation
@@ -30,6 +31,10 @@ from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
 from .lintkit.cli import add_lint_arguments, run_lint_command
 from .strategies import (OptimalStrategy, PeriodicStrategy,
                          ProcessingStrategy, SafePeriodStrategy)
+from .telemetry import (EVENT_TYPES, JsonlSink, RunManifest, Telemetry,
+                        filter_events, read_trace, reconcile,
+                        render_event_line, render_json, render_prom,
+                        render_text, validate_trace)
 
 WORKLOADS: Dict[str, WorkloadConfig] = {
     "tiny": TINY,
@@ -120,18 +125,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     world = build_world(config, args.cell)
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
-    if args.workers > 1:
-        # The sharded engine constructs one strategy per worker process,
-        # so it takes a picklable factory rather than an instance.
-        factory = functools.partial(_resolve_strategy, args.strategy,
-                                    world.max_speed())
-        result = run_parallel_simulation(world, factory,
-                                         workers=args.workers,
-                                         profile=args.profile)
-    else:
-        strategy = _resolve_strategy(args.strategy, world.max_speed())
-        profiler = PhaseProfiler() if args.profile else None
-        result = run_simulation(world, strategy, profiler=profiler)
+    telemetry: Optional[Telemetry] = None
+    if args.trace:
+        manifest = RunManifest.collect(
+            strategy=args.strategy, config=asdict(config),
+            workers=args.workers, sizes=world.sizes.to_dict(),
+            energy=world.energy.to_dict(), cell_area_km2=args.cell)
+        telemetry = Telemetry.capture(sink=JsonlSink(args.trace),
+                                      manifest=manifest)
+        telemetry.write_manifest()
+    try:
+        if args.workers > 1:
+            # The sharded engine constructs one strategy per worker
+            # process, so it takes a picklable factory rather than an
+            # instance.
+            factory = functools.partial(_resolve_strategy, args.strategy,
+                                        world.max_speed())
+            result = run_parallel_simulation(world, factory,
+                                             workers=args.workers,
+                                             profile=args.profile,
+                                             telemetry=telemetry)
+        else:
+            strategy = _resolve_strategy(args.strategy, world.max_speed())
+            profiler = PhaseProfiler() if args.profile else None
+            result = run_simulation(world, strategy, profiler=profiler,
+                                    telemetry=telemetry)
+        if telemetry is not None:
+            telemetry.write_summary(result.metrics.counters(),
+                                    triggers=len(result.metrics.triggers),
+                                    wall_time_s=result.wall_time_s,
+                                    workers=result.workers)
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     metrics = result.metrics
     print("strategy:             %s" % result.strategy_name)
     if result.workers > 1:
@@ -156,7 +182,44 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
              result.accuracy.late))
     if args.profile:
         print(profile_report(result))
+    if args.trace:
+        print("trace:                %s" % args.trace)
     return 0 if result.accuracy.perfect else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render a recorded trace; exit non-zero if it fails to reconcile."""
+    data = read_trace(args.trace)
+    if args.format == "json":
+        print(render_json(data))
+    elif args.format == "prom":
+        print(render_prom(data), end="")
+    else:
+        print(render_text(data))
+    result = reconcile(data)
+    return 0 if result["ok"] else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Slice or validate a recorded trace's event stream."""
+    data = read_trace(args.trace)
+    if args.mode == "validate":
+        problems = validate_trace(data)
+        for problem in problems:
+            print(problem)
+        print("%d events, %d problems" % (len(data.events), len(problems)))
+        return 0 if not problems else 1
+    # tail and filter share the slicing; tail is filter with a default
+    # limit and no predicates unless given.
+    limit = args.limit if args.limit is not None else (
+        10 if args.mode == "tail" else None)
+    selected = filter_events(data.events,
+                             types=args.type if args.type else None,
+                             user_id=args.user, shard=args.shard,
+                             limit=limit)
+    for record in selected:
+        print(render_event_line(record))
+    return 0
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -227,6 +290,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--profile", action="store_true",
                                  help="print a per-phase wall-time JSON "
                                       "report after the run")
+    simulate_parser.add_argument("--trace", default=None, metavar="PATH",
+                                 help="record a JSONL telemetry trace "
+                                      "(manifest + events + summary) "
+                                      "readable by `repro report`")
     add_workload_options(simulate_parser)
     simulate_parser.set_defaults(handler=_cmd_simulate)
 
@@ -248,6 +315,36 @@ def build_parser() -> argparse.ArgumentParser:
                      "(docs/STATIC_ANALYSIS.md)")
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(handler=run_lint_command)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render a recorded telemetry trace "
+                       "(docs/OBSERVABILITY.md)")
+    report_parser.add_argument("trace", help="JSONL trace file from "
+                                             "`simulate --trace`")
+    report_parser.add_argument("--format", choices=("text", "json", "prom"),
+                               default="text",
+                               help="output format (default: text)")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="slice or validate a trace's event stream")
+    trace_parser.add_argument("mode", choices=("tail", "filter", "validate"),
+                              help="tail: last N events; filter: select "
+                                   "by type/user/shard; validate: check "
+                                   "every record against the schema")
+    trace_parser.add_argument("trace", help="JSONL trace file")
+    trace_parser.add_argument("--type", action="append", default=None,
+                              choices=EVENT_TYPES, metavar="EVENT",
+                              help="event type to keep (repeatable; "
+                                   "one of: %s)" % ", ".join(EVENT_TYPES))
+    trace_parser.add_argument("--user", type=int, default=None,
+                              help="keep events of this user id")
+    trace_parser.add_argument("--shard", type=int, default=None,
+                              help="keep events of this shard index")
+    trace_parser.add_argument("--limit", type=int, default=None,
+                              help="keep the last N matches "
+                                   "(default 10 for tail)")
+    trace_parser.set_defaults(handler=_cmd_trace)
 
     return parser
 

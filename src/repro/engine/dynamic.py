@@ -37,6 +37,7 @@ from ..alarms import AlarmRegistry, AlarmScope, SpatialAlarm
 from ..geometry import Rect
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
+from .network import DOWNLINK_INVALIDATE
 from .server import AlarmServer
 from .simulation import GroundTruth, SimulationResult, World
 
@@ -208,12 +209,12 @@ def run_dynamic_simulation(world: World, strategy: "ProcessingStrategy",
         for alarm in installed:
             for client in clients.values():
                 if _stale_after_install(client, alarm):
-                    _invalidate(client, server, push_bytes)
+                    _invalidate(client, server, push_bytes, step_time)
         for alarm_id in removed:
             for client in clients.values():
                 if any(alarm.alarm_id == alarm_id
                        for alarm in client.local_alarms):
-                    _invalidate(client, server, push_bytes)
+                    _invalidate(client, server, push_bytes, step_time)
         for trace in world.traces:
             if step < len(trace):
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
@@ -249,10 +250,16 @@ def _stale_after_install(client: "ClientState",
 
 
 def _invalidate(client: "ClientState", server: AlarmServer,
-                push_bytes: int) -> None:
+                push_bytes: int, time_s: float) -> None:
     """Server push: drop the client's cached state; it re-syncs next fix."""
+    telemetry = server.telemetry
+    if telemetry.enabled and client.region_installed_at is not None:
+        telemetry.saferegion_exit(time_s, client.user_id,
+                                  time_s - client.region_installed_at)
     client.safe_region = None
     client.cell_rect = None
     client.expiry = float("-inf")
     client.local_alarms = []
-    server.send_downlink(push_bytes)
+    client.region_installed_at = None
+    server.send_downlink(push_bytes, user_id=client.user_id,
+                         time_s=time_s, kind=DOWNLINK_INVALIDATE)

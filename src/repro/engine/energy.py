@@ -18,7 +18,8 @@ total-energy trade-off (the ``energy_radio`` ablation benchmark does).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict
 
 from .metrics import Metrics
 
@@ -52,6 +53,10 @@ class EnergyModel:
     def client_energy_mwh(self, metrics: Metrics) -> float:
         """Total client-side energy of a run in milliwatt-hours."""
         return self.client_energy_j(metrics) / JOULES_PER_MWH
+
+    def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for run-manifest provenance."""
+        return asdict(self)
 
 
 #: Radio-inclusive variant for the total-energy ablation: typical

@@ -10,7 +10,23 @@ push grows with alarm count), not their absolute values.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Dict, Tuple
+
+#: Downlink payload kinds as reported in telemetry (``downlink_sent``
+#: events and the per-kind ``downlink_messages_<kind>`` counters).  One
+#: kind per protocol payload, plus the push-invalidation of the
+#: dynamic/tracking engines and a generic fallback.
+DOWNLINK_RECT = "rect"
+DOWNLINK_SAFE_PERIOD = "safe_period"
+DOWNLINK_BITMAP = "bitmap"
+DOWNLINK_ALARM_PUSH = "alarm_push"
+DOWNLINK_INVALIDATE = "invalidate"
+DOWNLINK_PUSH = "push"
+
+DOWNLINK_KINDS: Tuple[str, ...] = (DOWNLINK_RECT, DOWNLINK_SAFE_PERIOD,
+                                   DOWNLINK_BITMAP, DOWNLINK_ALARM_PUSH,
+                                   DOWNLINK_INVALIDATE, DOWNLINK_PUSH)
 
 
 @dataclass(frozen=True)
@@ -56,3 +72,7 @@ class MessageSizes:
         """Bytes of an OPT downlink carrying ``alarm_count`` alarms."""
         return (self.downlink_header + self.rect_payload  # the cell rect
                 + alarm_count * self.alarm_entry)
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form for run-manifest provenance."""
+        return asdict(self)

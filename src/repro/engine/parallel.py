@@ -41,12 +41,13 @@ import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
-                    Tuple)
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Tuple)
 
 from ..alarms import AlarmRegistry
 from ..index import GridOverlay
 from ..mobility import TraceSet
+from ..telemetry.facade import DISABLED, Telemetry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
 from .network import MessageSizes
@@ -63,7 +64,14 @@ if TYPE_CHECKING:  # runtime import would cycle through strategies.base
 #: boundary.
 StrategyFactory = Callable[[], "ProcessingStrategy"]
 
-_ShardOutcome = Tuple[Metrics, Optional[Dict[str, Dict[str, float]]], float]
+#: What one shard ships back: metrics, optional profile report, replay
+#: wall time, and — when the run is traced — the shard's buffered
+#: telemetry events plus its serialized metrics registry (plain dicts:
+#: cheap to pickle, merged in the parent through the associative
+#: registry merge exactly like ``Metrics.merged``).
+_ShardOutcome = Tuple[Metrics, Optional[Dict[str, Dict[str, float]]],
+                      float, Optional[List[Mapping[str, object]]],
+                      Optional[Dict[str, Dict[str, object]]]]
 
 
 def default_worker_count() -> int:
@@ -122,42 +130,56 @@ def _replay_inherited_shard(index: int) -> _ShardOutcome:
     """Fork-path worker body: replay shard ``index`` of ``_INHERITED``."""
     assert _INHERITED is not None, "inherited state missing in fork child"
     (registry, grid, shards, sizes, strategy_factory, use_cell_cache,
-     profile) = _INHERITED
+     profile, trace) = _INHERITED
     return _replay_shard(registry, grid, shards[index], sizes,
-                         strategy_factory, use_cell_cache, profile)
+                         strategy_factory, use_cell_cache, profile,
+                         trace, index)
 
 
 def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
                   traces: TraceSet, sizes: MessageSizes,
                   strategy_factory: StrategyFactory,
-                  use_cell_cache: bool, profile: bool) -> _ShardOutcome:
+                  use_cell_cache: bool, profile: bool,
+                  trace: bool = False,
+                  shard_index: int = 0) -> _ShardOutcome:
     """Worker body: replay one shard against a private server.
 
     Top-level by design (process pools pickle the callable).  Returns
-    the shard's metrics, its profile report (when requested) and its
-    replay wall time.
+    the shard's metrics, its profile report (when requested), its replay
+    wall time, and — when ``trace`` is set — its buffered telemetry
+    events (stamped with ``shard_index``) and serialized registry.
     """
     strategy = strategy_factory()
     metrics = Metrics()
     profiler = PhaseProfiler() if profile else None
+    telemetry = Telemetry.capture(shard=shard_index) if trace else DISABLED
     server = AlarmServer(registry, grid, metrics, sizes=sizes,
-                         use_cell_cache=use_cell_cache, profiler=profiler)
+                         use_cell_cache=use_cell_cache, profiler=profiler,
+                         telemetry=telemetry)
     strategy.attach(server)
+    if telemetry.enabled:
+        telemetry.shard_started(len(traces))
     started = time.perf_counter()
     try:
         replay_vehicle_major(strategy, traces)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
+    if telemetry.enabled:
+        telemetry.shard_finished(len(traces), wall_time)
     return (metrics, profiler.report() if profiler is not None else None,
-            wall_time)
+            wall_time,
+            telemetry.drain_events() if trace else None,
+            telemetry.registry.to_dict() if trace else None)
 
 
 def run_parallel_simulation(world: World,
                             strategy_factory: StrategyFactory,
                             workers: Optional[int] = None,
                             use_cell_cache: bool = False,
-                            profile: bool = False) -> SimulationResult:
+                            profile: bool = False,
+                            telemetry: Optional[Telemetry] = None
+                            ) -> SimulationResult:
     """Replay the world sharded over ``workers`` processes and merge.
 
     Drop-in equivalent of :func:`~repro.engine.simulation.run_simulation`
@@ -173,11 +195,20 @@ def run_parallel_simulation(world: World,
     ``result.wall_time_s`` covers sharding, worker dispatch, replay and
     merge (everything but ground-truth scoring), so measured speedups
     include the parallelism overhead they paid.
+
+    When an enabled ``telemetry`` facade is passed, each worker captures
+    its shard's events and metrics into a private in-memory facade
+    (stamped with the shard index) and ships them back in the shard
+    outcome; the parent folds them into ``telemetry`` in shard order, so
+    a traced parallel run produces one coherent event stream and one
+    merged registry — reconcilable against the merged ``Metrics``.
     """
     if workers is None:
         workers = default_worker_count()
     if workers < 1:
         raise ValueError("workers must be positive")
+    telemetry = telemetry if telemetry is not None else DISABLED
+    trace = telemetry.enabled
     # The factory must be constructible in the parent too: the result
     # needs the strategy's display name, and failing fast here beats a
     # pickle traceback out of a worker.
@@ -190,7 +221,7 @@ def run_parallel_simulation(world: World,
         for shard in shards:  # zero or one shard: stay in-process
             outcomes.append(_replay_shard(
                 world.registry, world.grid, shard, world.sizes,
-                strategy_factory, use_cell_cache, profile))
+                strategy_factory, use_cell_cache, profile, trace, 0))
     elif multiprocessing.get_start_method() == "fork":
         # Fast path: fork children inherit the shard payload through
         # copy-on-write memory, so only a shard *index* crosses the
@@ -199,7 +230,7 @@ def run_parallel_simulation(world: World,
         # set; clearing it afterwards keeps runs re-entrant-safe.
         global _INHERITED
         _INHERITED = (world.registry, world.grid, shards, world.sizes,
-                      strategy_factory, use_cell_cache, profile)
+                      strategy_factory, use_cell_cache, profile, trace)
         try:
             with ProcessPoolExecutor(max_workers=len(shards),
                                      initializer=_worker_init) as pool:
@@ -213,13 +244,19 @@ def run_parallel_simulation(world: World,
                                  initializer=_worker_init) as pool:
             futures = [pool.submit(_replay_shard, world.registry, world.grid,
                                    shard, world.sizes, strategy_factory,
-                                   use_cell_cache, profile)
-                       for shard in shards]
+                                   use_cell_cache, profile, trace, index)
+                       for index, shard in enumerate(shards)]
             outcomes = [future.result() for future in futures]  # shard order
 
     metrics = Metrics.merged([outcome[0] for outcome in outcomes])
     profile_report = (merge_reports([outcome[1] for outcome in outcomes])
                       if profile else None)
+    if trace:
+        # Fold shard telemetry in shard order: the event stream then
+        # mirrors the serial replay order the same way the trigger list
+        # does, and the registry merge mirrors Metrics.merged.
+        for outcome in outcomes:
+            telemetry.absorb_shard(outcome[3] or [], outcome[4])
     wall_time = time.perf_counter() - started
 
     accuracy = verify_accuracy(world.ground_truth(), metrics)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Sequence
+from typing import ContextManager, Dict, Iterator, Optional, Sequence
 
 #: The phase names the built-in strategies record, in pipeline order.
 STANDARD_PHASES = ("alarm_processing", "index_lookup",
@@ -53,6 +53,8 @@ class PhaseProfiler:
 
     def __init__(self) -> None:
         self.phases: Dict[str, PhaseStat] = {}
+        # Live nesting depth per phase (see `timed` for the semantics).
+        self._depth: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def record(self, phase: str, seconds: float, calls: int = 1) -> None:
@@ -65,12 +67,32 @@ class PhaseProfiler:
 
     @contextmanager
     def timed(self, phase: str) -> Iterator[None]:
-        """Time a block into ``phase``."""
+        """Time a block into ``phase``.
+
+        Re-entrancy contract: when spans of the *same* phase nest, only
+        the outermost span charges wall time (its inclusive elapsed
+        time, charged once); inner spans count a call but contribute
+        zero seconds.  Without this, a phase's wall time would
+        double-count every nested level and could exceed the run's real
+        elapsed time.  Spans of *different* phases nest freely and each
+        charges its own inclusive time — the phase totals are therefore
+        not additive across phases that nest within each other (e.g.
+        ``index_lookup`` inside the safe-region span).
+        """
+        depth = self._depth.get(phase, 0)
+        self._depth[phase] = depth + 1
         started = time.perf_counter()
         try:
             yield
         finally:
-            self.record(phase, time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            self._depth[phase] = depth
+            self.record(phase, elapsed if depth == 0 else 0.0)
+
+    def span(self, phase: str) -> ContextManager[None]:
+        """Alias for :meth:`timed` (the name used in the observability
+        docs); identical re-entrancy semantics."""
+        return self.timed(phase)
 
     # ------------------------------------------------------------------
     def merge(self, other: "PhaseProfiler") -> "PhaseProfiler":

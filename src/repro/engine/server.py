@@ -19,8 +19,9 @@ from typing import (TYPE_CHECKING, ContextManager, Dict, Iterator, List,
 from ..alarms import AlarmRegistry, SpatialAlarm
 from ..geometry import Point, Rect
 from ..index import GridOverlay
+from ..telemetry.facade import DISABLED, Telemetry
 from .metrics import Metrics, TriggerEvent
-from .network import MessageSizes
+from .network import DOWNLINK_PUSH, MessageSizes
 from .profiling import PhaseProfiler
 
 if TYPE_CHECKING:  # imported lazily at runtime (only when caching is on)
@@ -36,13 +37,18 @@ class AlarmServer:
                  metrics: Metrics,
                  sizes: MessageSizes = MessageSizes(),
                  use_cell_cache: bool = False,
-                 profiler: Optional[PhaseProfiler] = None) -> None:
+                 profiler: Optional[PhaseProfiler] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.registry = registry
         self.grid = grid
         self.metrics = metrics
         self.sizes = sizes
         # Optional per-phase wall-time profiling (see engine.profiling).
         self.profiler = profiler
+        # Structured telemetry facade; the shared DISABLED singleton
+        # (never None) keeps every hot-path guard a plain attribute
+        # check instead of an `is None` test plus a method call.
+        self.telemetry = telemetry if telemetry is not None else DISABLED
         # One-shot bookkeeping: alarm ids already fired, per user.
         self._fired: Dict[int, Set[int]] = {}
         # Optional per-cell alarm cache (safe-region hot path): the grid
@@ -71,9 +77,21 @@ class AlarmServer:
         self.metrics.uplink_messages += 1
         self.metrics.uplink_bytes += nbytes
 
-    def send_downlink(self, nbytes: int) -> None:
+    def send_downlink(self, nbytes: int, user_id: Optional[int] = None,
+                      time_s: Optional[float] = None,
+                      kind: str = DOWNLINK_PUSH) -> None:
+        """Account one downlink payload; emit its event when traced.
+
+        ``user_id``/``time_s``/``kind`` exist for telemetry only —
+        accounting is identical without them, but a traced run's
+        reconciliation check (events vs ``Metrics``) flags any call
+        site that forgets to identify its payload.
+        """
         self.metrics.downlink_messages += 1
         self.metrics.downlink_bytes += nbytes
+        telemetry = self.telemetry
+        if telemetry.enabled and user_id is not None and time_s is not None:
+            telemetry.downlink_sent(time_s, user_id, nbytes, kind)
 
     # ------------------------------------------------------------------
     # Alarm processing
@@ -87,10 +105,16 @@ class AlarmServer:
         work is timed into the *alarm processing* bucket.
         """
         fired = self.fired_for(user_id)
+        telemetry = self.telemetry
+        cost_started = time.perf_counter() if telemetry.enabled else 0.0
         with self._timed_alarm_processing(), \
                 self.profiled("alarm_processing"):
             triggered = self.registry.triggered_at(user_id, position,
                                                    exclude_ids=fired)
+        if telemetry.enabled:
+            telemetry.location_report(
+                time_s, user_id, self.sizes.uplink_location,
+                (time.perf_counter() - cost_started) * 1e6)
         self.metrics.alarm_evaluations += 1
         for alarm in triggered:
             fired.add(alarm.alarm_id)
@@ -98,6 +122,8 @@ class AlarmServer:
                 TriggerEvent(time=time_s, user_id=user_id,
                              alarm_id=alarm.alarm_id))
             self.metrics.trigger_notifications += 1
+            if telemetry.enabled:
+                telemetry.alarm_fired(time_s, user_id, alarm.alarm_id)
         return triggered
 
     # ------------------------------------------------------------------
@@ -110,13 +136,19 @@ class AlarmServer:
                           rect: Rect) -> List[SpatialAlarm]:
         """Pending (unfired) relevant alarms interior-overlapping ``rect``."""
         with self.profiled("index_lookup"):
+            pending: Optional[List[SpatialAlarm]] = None
             if self._cell_cache is not None:
                 cell = self.grid.cell_of(rect.center)
                 if self.grid.cell_rect(cell) == rect:
-                    return self._cell_cache.relevant_pending(
+                    pending = self._cell_cache.relevant_pending(
                         user_id, cell, exclude_ids=self.fired_for(user_id))
-            return self.registry.relevant_intersecting(
-                user_id, rect, exclude_ids=self.fired_for(user_id))
+            if pending is None:
+                pending = self.registry.relevant_intersecting(
+                    user_id, rect, exclude_ids=self.fired_for(user_id))
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.index_fanout(len(pending))
+        return pending
 
     def pending_nearest_distance(self, user_id: int,
                                  position: Point) -> float:
@@ -158,18 +190,27 @@ class AlarmServer:
                 self.registry.tree.stats.node_accesses - accesses_before)
 
     @contextmanager
-    def timed_saferegion(self) -> Iterator[None]:
+    def timed_saferegion(self, user_id: Optional[int] = None,
+                         time_s: Optional[float] = None) -> Iterator[None]:
         """Time a block into the *safe-region computation* bucket.
 
         Strategies wrap their safe-region (or safe-period) production in
         this context manager so Fig. 4(b)/6(d) can split server load.
+        ``user_id``/``time_s`` identify the computation for telemetry;
+        the ``saferegion_computed`` event fires exactly when the
+        ``safe_region_computations`` counter increments (on clean exit),
+        so the two reconcile by construction.
         """
         accesses_before = self.registry.tree.stats.node_accesses
         started = time.perf_counter()
         try:
             yield
         finally:
-            self.metrics.saferegion_time_s += time.perf_counter() - started
+            elapsed = time.perf_counter() - started
+            self.metrics.saferegion_time_s += elapsed
             self.metrics.index_node_accesses += (
                 self.registry.tree.stats.node_accesses - accesses_before)
         self.metrics.safe_region_computations += 1
+        telemetry = self.telemetry
+        if telemetry.enabled and user_id is not None and time_s is not None:
+            telemetry.saferegion_computed(time_s, user_id, elapsed * 1e6)

@@ -24,6 +24,7 @@ from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..index import GridOverlay
 from ..mobility import TraceSet
+from ..telemetry.facade import DISABLED, Telemetry
 from .energy import EnergyModel
 from .groundtruth import (AccuracyReport, TriggerKey, compute_ground_truth,
                           verify_accuracy)
@@ -143,7 +144,8 @@ def replay_vehicle_major(strategy: "ProcessingStrategy",
 
 def run_simulation(world: World, strategy: "ProcessingStrategy",
                    use_cell_cache: bool = False,
-                   profiler: Optional[PhaseProfiler] = None
+                   profiler: Optional[PhaseProfiler] = None,
+                   telemetry: Optional[Telemetry] = None
                    ) -> SimulationResult:
     """Replay the world's traces through ``strategy`` and score the run.
 
@@ -151,19 +153,27 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
     :class:`~repro.alarms.CellAlarmCache`) — identical results, less
     index work per safe-region computation.  ``profiler`` attaches
     per-phase wall-time accounting (see :mod:`repro.engine.profiling`);
-    the report lands on ``result.profile``.
+    the report lands on ``result.profile``.  ``telemetry`` attaches the
+    structured telemetry facade (see :mod:`repro.telemetry`); ``None``
+    means the shared disabled facade, whose per-site cost is one
+    attribute check.
     """
+    telemetry = telemetry if telemetry is not None else DISABLED
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, use_cell_cache=use_cell_cache,
-                         profiler=profiler)
+                         profiler=profiler, telemetry=telemetry)
     strategy.attach(server)
+    if telemetry.enabled:
+        telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
     try:
         replay_vehicle_major(strategy, world.traces)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
+    if telemetry.enabled:
+        telemetry.shard_finished(len(world.traces), wall_time)
 
     accuracy = verify_accuracy(world.ground_truth(), metrics)
     return SimulationResult(strategy_name=strategy.name, metrics=metrics,
@@ -179,7 +189,8 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
 
 def run_interleaved_simulation(
         world: World, strategy: "ProcessingStrategy",
-        on_step: Optional[Callable[[int, float, AlarmServer], None]] = None
+        on_step: Optional[Callable[[int, float, AlarmServer], None]] = None,
+        telemetry: Optional[Telemetry] = None
 ) -> SimulationResult:
     """Time-major replay with an optional per-step world mutation hook.
 
@@ -192,14 +203,17 @@ def run_interleaved_simulation(
     """
     from ..strategies.base import ClientState  # local import: avoid cycle
 
+    telemetry = telemetry if telemetry is not None else DISABLED
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
-                         sizes=world.sizes)
+                         sizes=world.sizes, telemetry=telemetry)
     strategy.attach(server)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
     max_steps = max((len(trace) for trace in world.traces), default=0)
 
+    if telemetry.enabled:
+        telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
     for step in range(max_steps):
         step_time = step * world.traces.sample_interval
@@ -209,6 +223,8 @@ def run_interleaved_simulation(
             if step < len(trace):
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
     wall_time = time.perf_counter() - started
+    if telemetry.enabled:
+        telemetry.shard_finished(len(world.traces), wall_time)
 
     accuracy = verify_accuracy(world.ground_truth(), metrics)
     return SimulationResult(strategy_name=strategy.name, metrics=metrics,

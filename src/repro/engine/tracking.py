@@ -38,9 +38,11 @@ from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Set,
 from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..mobility import Trace
+from ..telemetry.facade import DISABLED, Telemetry
 from .dynamic import _clone_registry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
+from .network import DOWNLINK_INVALIDATE
 from .profiling import PhaseProfiler
 from .server import AlarmServer
 from .simulation import GroundTruth, SimulationResult, World
@@ -105,24 +107,29 @@ def compute_tracking_ground_truth(world: World,
 
 def run_tracking_simulation(world: World, strategy: "ProcessingStrategy",
                             tracks: Sequence[TargetTrack],
-                            profiler: Optional[PhaseProfiler] = None
+                            profiler: Optional[PhaseProfiler] = None,
+                            telemetry: Optional[Telemetry] = None
                             ) -> SimulationResult:
     """Time-major replay with per-step target moves and invalidation."""
     from ..strategies.base import ClientState  # local import: avoid cycle
 
+    telemetry = telemetry if telemetry is not None else DISABLED
     track_ids = {track.alarm_id for track in tracks}
     registry = _clone_registry(world.registry)
     metrics = Metrics()
     server = AlarmServer(registry, world.grid, metrics, sizes=world.sizes,
-                         profiler=profiler)
+                         profiler=profiler, telemetry=telemetry)
     strategy.attach(server)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
     max_steps = max((len(trace) for trace in world.traces), default=0)
     push_bytes = world.sizes.downlink_header
 
+    if telemetry.enabled:
+        telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
     for step in range(max_steps):
+        step_time = step * world.traces.sample_interval
         moves: List[Tuple[Rect, Rect, int]] = []
         for track in tracks:
             old_region = registry.get(track.alarm_id).region
@@ -133,11 +140,13 @@ def run_tracking_simulation(world: World, strategy: "ProcessingStrategy",
         if moves:
             for client in clients.values():
                 if _stale_after_moves(client, server, registry, moves):
-                    _invalidate(client, server, push_bytes)
+                    _invalidate(client, server, push_bytes, step_time)
         for trace in world.traces:
             if step < len(trace):
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
     wall_time = time.perf_counter() - started
+    if telemetry.enabled:
+        telemetry.shard_finished(len(world.traces), wall_time)
 
     accuracy = verify_accuracy(
         compute_tracking_ground_truth(world, tracks), metrics)
@@ -178,9 +187,16 @@ def _stale_after_moves(client: "ClientState", server: AlarmServer,
 
 
 def _invalidate(client: "ClientState", server: AlarmServer,
-                push_bytes: int) -> None:
+                push_bytes: int, time_s: float) -> None:
+    telemetry = server.telemetry
+    if telemetry.enabled and client.region_installed_at is not None:
+        # A push-invalidation forcibly ends the client's residency.
+        telemetry.saferegion_exit(time_s, client.user_id,
+                                  time_s - client.region_installed_at)
     client.safe_region = None
     client.cell_rect = None
     client.expiry = float("-inf")
     client.local_alarms = []
-    server.send_downlink(push_bytes)
+    client.region_installed_at = None
+    server.send_downlink(push_bytes, user_id=client.user_id,
+                         time_s=time_s, kind=DOWNLINK_INVALIDATE)

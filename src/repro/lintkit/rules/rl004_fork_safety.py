@@ -211,7 +211,7 @@ class ForkSafetyRule(LintRule):
     # Everything a parallel-engine worker can reach: the engine itself,
     # strategies it constructs, and the packages those call into.
     scopes = ("engine", "strategies", "saferegion", "index", "alarms",
-              "geometry", "mobility")
+              "geometry", "mobility", "telemetry")
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
         mutables = _module_level_mutables(ctx.tree)

@@ -39,7 +39,7 @@ class NoWallclockRule(LintRule):
     rule_id = "RL006"
     title = "no-wallclock: hot paths read the sample clock, not the host's"
     scopes = ("engine", "strategies", "saferegion", "index", "geometry",
-              "mobility", "alarms")
+              "mobility", "alarms", "telemetry")
     exempt_files = ("engine/profiling.py",)
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..engine.network import DOWNLINK_RECT
 from ..mobility import TraceSample
 from ..saferegion import MWPSRComputer, RectangularSafeRegion
 from .base import ClientState
@@ -59,11 +60,12 @@ class AdaptiveRectangularStrategy(RectangularSafeRegionStrategy):
                 slack = region.rect.boundary_distance(sample.position)
                 client.expiry = sample.time + slack / self.max_speed
                 return
+            self._note_region_exit(client, sample.time)
 
         self._uplink_location()
         server = self.server
         server.process_location(client.user_id, sample.time, sample.position)
-        with server.timed_saferegion():
+        with server.timed_saferegion(client.user_id, sample.time):
             cell = server.current_cell(sample.position)
             pending = server.pending_alarms_in(client.user_id, cell)
             result = self.computer.compute(sample.position, sample.heading,
@@ -74,4 +76,7 @@ class AdaptiveRectangularStrategy(RectangularSafeRegionStrategy):
         client.cell_rect = cell
         client.expiry = sample.time + (
             result.rect.boundary_distance(sample.position) / self.max_speed)
-        server.send_downlink(server.sizes.rect_message())
+        self._mark_region_installed(client, sample.time)
+        server.send_downlink(server.sizes.rect_message(),
+                             user_id=client.user_id, time_s=sample.time,
+                             kind=DOWNLINK_RECT)

@@ -32,7 +32,7 @@ class ClientState:
     """
 
     __slots__ = ("user_id", "safe_region", "cell_rect", "expiry",
-                 "local_alarms")
+                 "local_alarms", "region_installed_at")
 
     def __init__(self, user_id: int) -> None:
         self.user_id = user_id
@@ -40,6 +40,10 @@ class ClientState:
         self.cell_rect: Optional[Rect] = None
         self.expiry: float = float("-inf")  # safe-period strategy
         self.local_alarms: List[SpatialAlarm] = []  # optimal strategy
+        # Simulation time the current safe region (or safe period, or
+        # OPT alarm set) began its residency; None between residencies.
+        # Telemetry-only: drives the saferegion_exit residence metric.
+        self.region_installed_at: Optional[float] = None
 
     def __repr__(self) -> str:
         return "ClientState(user_id=%d)" % self.user_id
@@ -75,6 +79,29 @@ class ProcessingStrategy:
 
     def _uplink_location(self) -> None:
         self.server.receive_location(self.server.sizes.uplink_location)
+
+    def _mark_region_installed(self, client: ClientState,
+                               time_s: float) -> None:
+        """Start a residency clock unless one is already running.
+
+        A quick-update re-ship (bitmap fired path) replaces the region
+        without the client ever leaving it, so the original residency
+        keeps running; only a ship after an exit starts a new clock.
+        """
+        if client.region_installed_at is None:
+            client.region_installed_at = time_s
+
+    def _note_region_exit(self, client: ClientState,
+                          time_s: float) -> None:
+        """End the client's residency; emit ``saferegion_exit`` if traced."""
+        installed_at = client.region_installed_at
+        if installed_at is None:
+            return
+        client.region_installed_at = None
+        telemetry = self.server.telemetry
+        if telemetry.enabled:
+            telemetry.saferegion_exit(time_s, client.user_id,
+                                      time_s - installed_at)
 
     def _charge_probe(self, ops: int) -> None:
         metrics = self.server.metrics

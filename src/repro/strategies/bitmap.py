@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import List, Optional, Protocol, Sequence, Tuple
 
 from ..alarms import AlarmScope, SpatialAlarm
+from ..engine.network import DOWNLINK_BITMAP
 from ..geometry import Rect
 from ..mobility import TraceSample
 from ..saferegion import BitmapSafeRegion, PBSRComputer
@@ -72,6 +73,8 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
             return
 
         # Entered a new base cell (or first fix): full recomputation.
+        # Leaving the cell ends the residency of the region scoped to it.
+        self._note_region_exit(client, sample.time)
         self._uplink_location()
         self.server.process_location(client.user_id, sample.time,
                                      sample.position)
@@ -82,16 +85,18 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
     def _ship_region(self, client: ClientState, sample: TraceSample,
                      cell: Rect) -> None:
         server = self.server
-        with server.timed_saferegion():
+        with server.timed_saferegion(client.user_id, sample.time):
             pending = server.pending_alarms_in(client.user_id, cell)
             public, personal = _split_by_scope(pending)
             with self._profiled("saferegion_compute"):
                 region = self.computer.compute(cell, public, personal)
         client.safe_region = region
         client.cell_rect = cell
+        self._mark_region_installed(client, sample.time)
         with self._profiled("encoding"):
             payload = server.sizes.bitmap_message(region.size_bits())
-        server.send_downlink(payload)
+        server.send_downlink(payload, user_id=client.user_id,
+                             time_s=sample.time, kind=DOWNLINK_BITMAP)
 
 
 def _split_by_scope(alarms: List[SpatialAlarm]

@@ -17,6 +17,7 @@ have very high capacity".
 
 from __future__ import annotations
 
+from ..engine.network import DOWNLINK_ALARM_PUSH
 from ..mobility import TraceSample
 from .base import ClientState, ProcessingStrategy
 
@@ -52,17 +53,21 @@ class OptimalStrategy(ProcessingStrategy):
     def _refresh_cell(self, client: ClientState,
                       sample: TraceSample) -> None:
         """Cell crossing: report, fetch the new cell's alarm set."""
+        # Leaving the previous cell ends its alarm set's residency.
+        self._note_region_exit(client, sample.time)
         self._uplink_location()
         server = self.server
         server.process_location(client.user_id, sample.time, sample.position)
         # OPT's "safe-region computation" is pure alarm-list assembly, so
         # the server's internal index_lookup profiling already covers it.
-        with server.timed_saferegion():
+        with server.timed_saferegion(client.user_id, sample.time):
             cell = server.current_cell(sample.position)
             client.local_alarms = server.pending_alarms_in(client.user_id,
                                                            cell)
         client.cell_rect = cell
+        self._mark_region_installed(client, sample.time)
         with self._profiled("encoding"):
             payload = server.sizes.alarm_push_message(
                 len(client.local_alarms))
-        server.send_downlink(payload)
+        server.send_downlink(payload, user_id=client.user_id,
+                             time_s=sample.time, kind=DOWNLINK_ALARM_PUSH)

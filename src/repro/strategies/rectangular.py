@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..engine.network import DOWNLINK_RECT
 from ..engine.server import AlarmServer
 from ..geometry import Point
 from ..mobility import TraceSample
@@ -54,12 +55,13 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
             self._charge_probe(ops)
             if inside:
                 return
+            self._note_region_exit(client, sample.time)
 
         self._uplink_location()
         server = self.server
         server.process_location(client.user_id, sample.time, sample.position)
         heading = self._heading_for(client.user_id, sample)
-        with server.timed_saferegion():
+        with server.timed_saferegion(client.user_id, sample.time):
             cell = server.current_cell(sample.position)
             pending = server.pending_alarms_in(client.user_id, cell)
             with self._profiled("saferegion_compute"):
@@ -69,9 +71,11 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
                                                 for alarm in pending])
         client.safe_region = result.to_safe_region()
         client.cell_rect = cell
+        self._mark_region_installed(client, sample.time)
         with self._profiled("encoding"):
             payload = server.sizes.rect_message()
-        server.send_downlink(payload)
+        server.send_downlink(payload, user_id=client.user_id,
+                             time_s=sample.time, kind=DOWNLINK_RECT)
 
     def _heading_for(self, user_id: int, sample: TraceSample) -> float:
         """Heading per the configured source.

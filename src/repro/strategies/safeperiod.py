@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 
+from ..engine.network import DOWNLINK_SAFE_PERIOD
 from ..mobility import TraceSample
 from .base import ClientState, ProcessingStrategy
 
@@ -41,11 +42,12 @@ class SafePeriodStrategy(ProcessingStrategy):
         self._charge_probe(ops=1)
         if sample.time < client.expiry:
             return
+        self._note_region_exit(client, sample.time)
 
         self._uplink_location()
         server = self.server
         server.process_location(client.user_id, sample.time, sample.position)
-        with server.timed_saferegion():
+        with server.timed_saferegion(client.user_id, sample.time):
             distance = server.pending_nearest_distance(client.user_id,
                                                        sample.position)
             with self._profiled("saferegion_compute"):
@@ -54,6 +56,8 @@ class SafePeriodStrategy(ProcessingStrategy):
                 else:
                     expiry = sample.time + distance / self.max_speed
         client.expiry = expiry
+        self._mark_region_installed(client, sample.time)
         with self._profiled("encoding"):
             payload = server.sizes.safe_period_message()
-        server.send_downlink(payload)
+        server.send_downlink(payload, user_id=client.user_id,
+                             time_s=sample.time, kind=DOWNLINK_SAFE_PERIOD)

@@ -1,0 +1,81 @@
+"""Structured telemetry: event tracing, metrics, manifests, exporters.
+
+The package is split read-side/write-side around the JSONL trace file:
+
+* **write side** (on the engine's hot paths): the :class:`Telemetry`
+  facade bundling a :class:`Tracer`, a :class:`MetricsRegistry` and an
+  optional :class:`RunManifest`; disabled telemetry — the shared
+  :data:`DISABLED` singleton — costs one attribute check per
+  instrumented site.
+* **read side** (offline, pure): :func:`read_trace`,
+  :func:`reconcile` and the ``render_*`` exporters behind
+  ``repro report`` / ``repro trace``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema, the instrument
+catalogue and the reconciliation contract.
+"""
+
+from .events import (BASE_FIELDS, EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
+                     EVENT_FIELDS, EVENT_LOCATION_REPORT,
+                     EVENT_SAFEREGION_COMPUTED, EVENT_SAFEREGION_EXIT,
+                     EVENT_SHARD_FINISHED, EVENT_SHARD_STARTED,
+                     EVENT_TYPES, RECORD_EVENT, RECORD_MANIFEST,
+                     RECORD_SUMMARY, TraceEvent, validate_event)
+from .export import (TraceData, event_counts, filter_events, read_trace,
+                     reconcile, render_event_line, render_json,
+                     render_prom, render_text, validate_trace)
+from .facade import DISABLED, Telemetry
+from .manifest import (MANIFEST_VERSION, RunManifest, config_fingerprint,
+                       current_git_sha, extract_seeds)
+from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                      Instrument, MetricsRegistry, TelemetryError)
+from .sinks import JsonlSink, ListSink, NullSink, TraceSink, read_jsonl
+from .tracer import Tracer
+
+__all__ = [
+    "BASE_FIELDS",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DISABLED",
+    "EVENT_ALARM_FIRED",
+    "EVENT_DOWNLINK_SENT",
+    "EVENT_FIELDS",
+    "EVENT_LOCATION_REPORT",
+    "EVENT_SAFEREGION_COMPUTED",
+    "EVENT_SAFEREGION_EXIT",
+    "EVENT_SHARD_FINISHED",
+    "EVENT_SHARD_STARTED",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "Instrument",
+    "JsonlSink",
+    "ListSink",
+    "MANIFEST_VERSION",
+    "MetricsRegistry",
+    "NullSink",
+    "RECORD_EVENT",
+    "RECORD_MANIFEST",
+    "RECORD_SUMMARY",
+    "RunManifest",
+    "Telemetry",
+    "TelemetryError",
+    "TraceData",
+    "TraceEvent",
+    "TraceSink",
+    "Tracer",
+    "config_fingerprint",
+    "current_git_sha",
+    "event_counts",
+    "extract_seeds",
+    "filter_events",
+    "read_jsonl",
+    "read_trace",
+    "reconcile",
+    "render_event_line",
+    "render_json",
+    "render_prom",
+    "render_text",
+    "validate_event",
+    "validate_trace",
+]

@@ -1,0 +1,322 @@
+"""Trace readers and exporters: text dashboard, JSON, Prometheus.
+
+``repro report`` renders a recorded trace through these functions;
+``repro trace`` slices the raw event stream.  Everything here is
+read-side and pure — input is the JSONL trace a run produced, output is
+a string — so exporters are trivially testable and adding a format
+never touches the engine.
+
+The *reconciliation* check is the load-bearing piece: a trace's event
+stream, its telemetry registry and the engine's own ``Metrics`` totals
+(stored in the summary record) describe the same run three ways, and
+:func:`reconcile` asserts they agree — the cross-check that catches a
+dropped shard, a missed emit site or a broken merge before anyone
+trusts a dashboard built on the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from .events import (EVENT_TYPES, RECORD_EVENT, RECORD_MANIFEST,
+                     RECORD_SUMMARY, validate_event)
+from .manifest import RunManifest
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sinks import read_jsonl
+
+#: Counter-level reconciliation pairs: (registry counter, Metrics field).
+RECONCILE_COUNTERS = (
+    ("uplink_messages", "uplink_messages"),
+    ("uplink_bytes", "uplink_bytes"),
+    ("downlink_messages", "downlink_messages"),
+    ("downlink_bytes", "downlink_bytes"),
+    ("alarms_fired", "trigger_notifications"),
+    ("saferegion_computations", "safe_region_computations"),
+)
+
+#: Event-count reconciliation pairs: (event type, Metrics field).
+RECONCILE_EVENTS = (
+    ("location_report", "uplink_messages"),
+    ("downlink_sent", "downlink_messages"),
+    ("alarm_fired", "trigger_notifications"),
+    ("saferegion_computed", "safe_region_computations"),
+)
+
+
+@dataclass
+class TraceData:
+    """One parsed trace: provenance header, events, trailing summary."""
+
+    manifest: Optional[RunManifest]
+    events: List[Dict[str, object]]
+    summary: Optional[Dict[str, object]]
+
+    def registry(self) -> MetricsRegistry:
+        """The run's metrics registry, rebuilt from the summary."""
+        if self.summary is None:
+            return MetricsRegistry()
+        payload = self.summary.get("registry")
+        if not isinstance(payload, dict):
+            return MetricsRegistry()
+        return MetricsRegistry.from_dict(payload)
+
+    def metrics_counters(self) -> Dict[str, float]:
+        """The engine's ``Metrics.counters()`` totals from the summary."""
+        if self.summary is None:
+            return {}
+        counters = self.summary.get("metrics")
+        return dict(counters) if isinstance(counters, dict) else {}
+
+
+def read_trace(path: Union[str, Path]) -> TraceData:
+    """Parse a JSONL trace file into its three record kinds."""
+    manifest: Optional[RunManifest] = None
+    events: List[Dict[str, object]] = []
+    summary: Optional[Dict[str, object]] = None
+    for record in read_jsonl(path):
+        kind = record.get("record")
+        if kind == RECORD_MANIFEST:
+            manifest = RunManifest.from_record(record)
+        elif kind == RECORD_EVENT:
+            events.append(record)
+        elif kind == RECORD_SUMMARY:
+            summary = record
+    return TraceData(manifest=manifest, events=events, summary=summary)
+
+
+def event_counts(events: Sequence[Mapping[str, object]]) -> Dict[str, int]:
+    """``{event type: occurrence count}`` over an event stream."""
+    counts: Dict[str, int] = {}
+    for record in events:
+        event_type = record.get("type")
+        if isinstance(event_type, str):
+            counts[event_type] = counts.get(event_type, 0) + 1
+    return counts
+
+
+def validate_trace(data: TraceData) -> List[str]:
+    """Structural problems of a trace (empty list when valid)."""
+    problems: List[str] = []
+    if data.manifest is None:
+        problems.append("trace has no manifest header record")
+    if data.summary is None:
+        problems.append("trace has no trailing summary record")
+    for index, record in enumerate(data.events):
+        for problem in validate_event(record):
+            problems.append("event %d: %s" % (index, problem))
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Reconciliation
+# ----------------------------------------------------------------------
+def reconcile(data: TraceData) -> Dict[str, object]:
+    """Cross-check events and registry against the ``Metrics`` totals.
+
+    Returns ``{"ok": bool, "checks": [{name, expected, actual, ok}]}``.
+    Every check compares one view of the run against the engine's own
+    deterministic counters; exact equality is the contract (both sides
+    are integer counts of the same protocol events).
+    """
+    metrics = data.metrics_counters()
+    registry = data.registry()
+    counts = event_counts(data.events)
+    checks: List[Dict[str, object]] = []
+
+    def check(name: str, expected: object, actual: object) -> None:
+        checks.append({"name": name, "expected": expected,
+                       "actual": actual, "ok": expected == actual})
+
+    for counter_name, metrics_field in RECONCILE_COUNTERS:
+        instrument = registry.get(counter_name)
+        value = instrument.value if isinstance(instrument, Counter) else 0
+        check("registry.%s == metrics.%s" % (counter_name, metrics_field),
+              metrics.get(metrics_field, 0), value)
+    for event_type, metrics_field in RECONCILE_EVENTS:
+        check("events.%s == metrics.%s" % (event_type, metrics_field),
+              metrics.get(metrics_field, 0), counts.get(event_type, 0))
+    return {"ok": all(bool(entry["ok"]) for entry in checks),
+            "checks": checks}
+
+
+# ----------------------------------------------------------------------
+# Event slicing (repro trace tail/filter)
+# ----------------------------------------------------------------------
+def filter_events(events: Sequence[Dict[str, object]],
+                  types: Optional[Sequence[str]] = None,
+                  user_id: Optional[int] = None,
+                  shard: Optional[int] = None,
+                  limit: Optional[int] = None) -> List[Dict[str, object]]:
+    """Slice an event stream by type, user and shard; cap the length.
+
+    ``limit`` keeps the *last* N matches (tail semantics — recent
+    events are what debugging wants).
+    """
+    selected = [
+        record for record in events
+        if (types is None or record.get("type") in types)
+        and (user_id is None or record.get("user") == user_id)
+        and (shard is None or record.get("shard") == shard)]
+    if limit is not None and limit >= 0:
+        selected = selected[len(selected) - min(limit, len(selected)):]
+    return selected
+
+
+def render_event_line(record: Mapping[str, object]) -> str:
+    """One event as a fixed-order human-readable line."""
+    time_s = record.get("t", 0.0)
+    shard = record.get("shard", 0)
+    user = record.get("user")
+    head = "t=%-8s shard=%-2s user=%-4s %s" % (
+        time_s, shard, "-" if user is None else user,
+        record.get("type", "?"))
+    payload = {key: value for key, value in record.items()
+               if key not in ("record", "type", "t", "shard", "user")}
+    if not payload:
+        return head
+    detail = " ".join("%s=%s" % (key, payload[key])
+                      for key in sorted(payload))
+    return head + "  " + detail
+
+
+# ----------------------------------------------------------------------
+# Report renderers
+# ----------------------------------------------------------------------
+def render_text(data: TraceData) -> str:
+    """The human dashboard: provenance, counters, histograms, checks."""
+    lines: List[str] = []
+    manifest = data.manifest
+    lines.append("run report")
+    lines.append("=" * 60)
+    if manifest is not None:
+        lines.append("strategy:     %s" % manifest.strategy)
+        lines.append("workers:      %d" % manifest.workers)
+        lines.append("config hash:  %s" % manifest.config_hash[:16])
+        lines.append("git sha:      %s" % (manifest.git_sha or "unknown"))
+        if manifest.seeds:
+            lines.append("seeds:        %s" % " ".join(
+                "%s=%d" % (key, manifest.seeds[key])
+                for key in sorted(manifest.seeds)))
+    else:
+        lines.append("(no manifest header in trace)")
+
+    counts = event_counts(data.events)
+    lines.append("")
+    lines.append("events (%d total)" % len(data.events))
+    lines.append("-" * 60)
+    for event_type in EVENT_TYPES:
+        if event_type in counts:
+            lines.append("  %-22s %10d" % (event_type, counts[event_type]))
+
+    registry = data.registry()
+    counters = [inst for inst in (registry.get(name)
+                                  for name in registry.names())
+                if isinstance(inst, Counter)]
+    gauges = [inst for inst in (registry.get(name)
+                                for name in registry.names())
+              if isinstance(inst, Gauge)]
+    histograms = [inst for inst in (registry.get(name)
+                                    for name in registry.names())
+                  if isinstance(inst, Histogram)]
+    if counters or gauges:
+        lines.append("")
+        lines.append("counters & gauges")
+        lines.append("-" * 60)
+        for counter in counters:
+            lines.append("  %-28s %12s" % (counter.name, counter.value))
+        for gauge in gauges:
+            lines.append("  %-28s %12s  (gauge, peak)"
+                         % (gauge.name, gauge.value))
+    for histogram in histograms:
+        lines.append("")
+        lines.extend(_render_histogram(histogram))
+
+    result = reconcile(data)
+    lines.append("")
+    lines.append("reconciliation vs Metrics totals: %s"
+                 % ("OK" if result["ok"] else "FAILED"))
+    lines.append("-" * 60)
+    checks = result["checks"]
+    assert isinstance(checks, list)
+    for entry in checks:
+        lines.append("  [%s] %-46s %s vs %s"
+                     % ("ok" if entry["ok"] else "XX", entry["name"],
+                        entry["expected"], entry["actual"]))
+    return "\n".join(lines)
+
+
+def _render_histogram(histogram: Histogram, width: int = 30) -> List[str]:
+    """ASCII bucket bars, one bucket per line, plus the moment summary."""
+    lines = ["%s  (count %d, mean %.3f, min %s, max %s)"
+             % (histogram.name, histogram.count, histogram.mean,
+                histogram.min, histogram.max),
+             "-" * 60]
+    peak = max(histogram.bucket_counts) if histogram.count else 0
+    labels = ["<= %g" % bound for bound in histogram.buckets]
+    labels.append("> %g" % histogram.buckets[-1])
+    for label, count in zip(labels, histogram.bucket_counts):
+        bar = "#" * (count * width // peak if peak else 0)
+        lines.append("  %-12s %8d  %s" % (label, count, bar))
+    return lines
+
+
+def render_json(data: TraceData) -> str:
+    """Machine-readable report: manifest, counts, registry, checks."""
+    payload = {
+        "manifest": (data.manifest.to_dict()
+                     if data.manifest is not None else None),
+        "event_counts": event_counts(data.events),
+        "registry": data.registry().to_dict(),
+        "metrics": data.metrics_counters(),
+        "reconciliation": reconcile(data),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_prom(data: TraceData) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms).
+
+    Metric names are prefixed ``repro_``; histograms expose cumulative
+    ``_bucket{le=...}`` series plus ``_sum``/``_count``, matching the
+    Prometheus histogram convention, so the output scrapes directly
+    into any Prometheus-compatible stack.
+    """
+    lines: List[str] = []
+    manifest = data.manifest
+    if manifest is not None:
+        lines.append("# TYPE repro_run_info gauge")
+        lines.append(
+            'repro_run_info{strategy="%s",config_hash="%s",'
+            'git_sha="%s",workers="%d"} 1'
+            % (manifest.strategy, manifest.config_hash,
+               manifest.git_sha or "", manifest.workers))
+    registry = data.registry()
+    for name in registry.names():
+        instrument = registry.get(name)
+        metric = "repro_" + name
+        if isinstance(instrument, Counter):
+            lines.append("# TYPE %s counter" % metric)
+            lines.append("%s %s" % (metric, instrument.value))
+        elif isinstance(instrument, Gauge):
+            lines.append("# TYPE %s gauge" % metric)
+            if instrument.value is not None:
+                lines.append("%s %s" % (metric, instrument.value))
+        elif isinstance(instrument, Histogram):
+            lines.append("# TYPE %s histogram" % metric)
+            cumulative = 0
+            for bound, count in zip(instrument.buckets,
+                                    instrument.bucket_counts):
+                cumulative += count
+                lines.append('%s_bucket{le="%g"} %d'
+                             % (metric, bound, cumulative))
+            lines.append('%s_bucket{le="+Inf"} %d'
+                         % (metric, instrument.count))
+            lines.append("%s_sum %s" % (metric, instrument.sum))
+            lines.append("%s_count %d" % (metric, instrument.count))
+    for event_type, count in sorted(event_counts(data.events).items()):
+        metric = "repro_events_total"
+        lines.append('%s{type="%s"} %d' % (metric, event_type, count))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,223 @@
+"""The single telemetry facade the engine and strategies talk to.
+
+Design rule: **disabled telemetry costs one attribute check.**  Every
+instrumented hot path reads ``telemetry.enabled`` and skips the emit
+entirely when it is false — no record dict is built, no argument is
+evaluated beyond the guard, no sink or registry is touched.  The
+sharded engine's differential guarantee therefore extends to telemetry:
+an untraced run executes the exact pre-telemetry instruction stream
+plus one boolean test per instrumented site (the microbench guard in
+``benchmarks/test_telemetry_overhead.py`` enforces the ceiling).
+
+An enabled facade bundles the three telemetry concerns:
+
+* the :class:`~repro.telemetry.tracer.Tracer` writing typed events to
+  a pluggable sink;
+* the :class:`~repro.telemetry.metrics.MetricsRegistry` of counters,
+  gauges and histograms, merged across shards like ``Metrics.merged``;
+* the optional :class:`~repro.telemetry.manifest.RunManifest` written
+  as the trace's provenance header.
+
+The typed ``emit`` helpers below are the only place events and their
+derived instruments are produced, so the event schema and the metric
+names stay in lockstep — and the per-event registry bookkeeping is
+what lets ``repro report`` reconcile a trace against the engine's own
+``Metrics`` totals (a cross-check the test suite asserts).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .events import (EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
+                     EVENT_LOCATION_REPORT, EVENT_SAFEREGION_COMPUTED,
+                     EVENT_SAFEREGION_EXIT, EVENT_SHARD_FINISHED,
+                     EVENT_SHARD_STARTED, RECORD_SUMMARY)
+from .manifest import RunManifest
+from .metrics import MetricsRegistry
+from .sinks import ListSink, NullSink, TraceSink
+from .tracer import Tracer
+
+
+class Telemetry:
+    """Facade over tracer, metrics registry and run manifest."""
+
+    __slots__ = ("enabled", "tracer", "registry", "manifest")
+
+    def __init__(self, tracer: Tracer, registry: MetricsRegistry,
+                 manifest: Optional[RunManifest] = None,
+                 enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.tracer = tracer
+        self.registry = registry
+        self.manifest = manifest
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, sink: Optional[TraceSink] = None, shard: int = 0,
+                manifest: Optional[RunManifest] = None) -> "Telemetry":
+        """An enabled facade; ``sink`` defaults to an in-memory buffer."""
+        return cls(Tracer(sink if sink is not None else ListSink(),
+                          shard=shard),
+                   MetricsRegistry(), manifest=manifest)
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A no-op facade (every emit returns at the ``enabled`` check)."""
+        return cls(Tracer(NullSink()), MetricsRegistry(), enabled=False)
+
+    # ------------------------------------------------------------------
+    # Typed emitters: one event + its derived instruments per call.
+    # Each begins with the enabled guard so an unguarded call site is
+    # merely slower, never wrong; hot paths guard at the call site too
+    # so argument expressions are never evaluated when disabled.
+    # ------------------------------------------------------------------
+    def location_report(self, time_s: float, user_id: int, nbytes: int,
+                        cost_us: float) -> None:
+        """A client location report reached the server."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_LOCATION_REPORT, time_s, user_id,
+                         nbytes=nbytes, cost_us=cost_us)
+        registry = self.registry
+        registry.counter("uplink_messages").inc()
+        registry.counter("uplink_bytes").inc(nbytes)
+        registry.histogram("report_cost_us",
+                           deterministic=False).observe(cost_us)
+
+    def alarm_fired(self, time_s: float, user_id: int,
+                    alarm_id: int) -> None:
+        """An alarm fired (one-shot) for a subscriber."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_ALARM_FIRED, time_s, user_id,
+                         alarm=alarm_id)
+        self.registry.counter("alarms_fired").inc()
+
+    def saferegion_computed(self, time_s: float, user_id: int,
+                            elapsed_us: float) -> None:
+        """The server produced one safe region (or safe period)."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_SAFEREGION_COMPUTED, time_s, user_id,
+                         elapsed_us=elapsed_us)
+        registry = self.registry
+        registry.counter("saferegion_computations").inc()
+        registry.histogram("saferegion_compute_cost_us",
+                           deterministic=False).observe(elapsed_us)
+
+    def saferegion_exit(self, time_s: float, user_id: int,
+                        residence_s: float) -> None:
+        """A client left its safe region (or its safe period expired)."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_SAFEREGION_EXIT, time_s, user_id,
+                         residence_s=residence_s)
+        registry = self.registry
+        registry.counter("saferegion_exits").inc()
+        registry.histogram("saferegion_residence_s").observe(residence_s)
+
+    def downlink_sent(self, time_s: float, user_id: int, nbytes: int,
+                      kind: str) -> None:
+        """The server shipped a payload to a client."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_DOWNLINK_SENT, time_s, user_id,
+                         nbytes=nbytes, kind=kind)
+        registry = self.registry
+        registry.counter("downlink_messages").inc()
+        registry.counter("downlink_bytes").inc(nbytes)
+        registry.counter("downlink_messages_" + kind).inc()
+        registry.histogram("downlink_payload_bits").observe(nbytes * 8)
+
+    def index_fanout(self, count: int) -> None:
+        """One index lookup returned ``count`` pending alarms."""
+        if not self.enabled:
+            return
+        self.registry.histogram("index_fanout").observe(count)
+
+    def shard_started(self, vehicles: int) -> None:
+        """A shard began its replay (``t`` pinned to simulation zero)."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_SHARD_STARTED, 0.0, vehicles=vehicles)
+        # Not deterministic in the cross-engine sense: the peak depends
+        # on the shard topology (a serial run is one 'shard' holding
+        # every vehicle), not only on the seeded world.
+        self.registry.gauge("shard_vehicles_peak",
+                            deterministic=False).set_max(vehicles)
+
+    def shard_finished(self, vehicles: int, wall_s: float) -> None:
+        """A shard completed its replay after ``wall_s`` real seconds."""
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_SHARD_FINISHED, 0.0, vehicles=vehicles,
+                         wall_s=wall_s)
+
+    # ------------------------------------------------------------------
+    # Trace life cycle
+    # ------------------------------------------------------------------
+    def write_manifest(self) -> None:
+        """Write the provenance header (first record of a trace)."""
+        if not self.enabled or self.manifest is None:
+            return
+        self.tracer.sink.write_record(self.manifest.to_record())
+
+    def write_summary(self, metrics_counters: Mapping[str, float],
+                      triggers: int, wall_time_s: float,
+                      workers: int) -> None:
+        """Write the trailing summary record.
+
+        ``metrics_counters`` is ``Metrics.counters()`` — the engine's
+        own deterministic totals, stored next to the event stream so
+        ``repro report`` can reconcile the two without re-running
+        anything.
+        """
+        if not self.enabled:
+            return
+        self.tracer.sink.write_record({
+            "record": RECORD_SUMMARY,
+            "metrics": dict(metrics_counters),
+            "triggers": triggers,
+            "registry": self.registry.to_dict(),
+            "wall_time_s": wall_time_s,
+            "workers": workers,
+        })
+
+    # ------------------------------------------------------------------
+    # Shard reduction (the parallel engine's telemetry merge step)
+    # ------------------------------------------------------------------
+    def absorb_shard(self, events: Sequence[Mapping[str, object]],
+                     registry_payload: Optional[
+                         Dict[str, Dict[str, object]]]) -> None:
+        """Fold one shard's buffered telemetry into this facade.
+
+        Event records pass through verbatim (they already carry their
+        shard index); the shard's serialized registry merges through
+        the associative instrument merge, mirroring ``Metrics.merged``.
+        """
+        if not self.enabled:
+            return
+        sink = self.tracer.sink
+        for record in events:
+            sink.write_record(record)
+        if registry_payload is not None:
+            self.registry.merge(MetricsRegistry.from_dict(registry_payload))
+
+    def drain_events(self) -> List[Mapping[str, object]]:
+        """Drain a buffering sink (shard workers ship these back)."""
+        sink = self.tracer.sink
+        if isinstance(sink, ListSink):
+            return sink.drain()
+        return []
+
+    def close(self) -> None:
+        self.tracer.close()
+
+
+#: The shared no-op facade.  Engine components default to this instead
+#: of ``Optional[Telemetry]`` so hot paths need no ``is None`` test —
+#: the ``enabled`` attribute check *is* the disabled fast path.
+DISABLED = Telemetry.disabled()

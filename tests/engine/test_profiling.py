@@ -1,0 +1,135 @@
+"""PhaseProfiler semantics, including the re-entrancy contract.
+
+The regression of note: before the contract was pinned, nested spans of
+the same phase each charged their own inclusive elapsed time, so a
+recursive or re-entrant call path double-counted wall time and a
+phase's total could exceed the run's real duration.  ``timed`` now
+charges wall time once per outermost span (inner spans count calls but
+contribute zero seconds); these tests hold that behavior in place.
+"""
+
+import pytest
+
+from repro.engine.profiling import (PhaseProfiler, PhaseStat,
+                                    merge_reports)
+
+
+class TestBasics:
+    def test_record_accumulates(self):
+        profiler = PhaseProfiler()
+        profiler.record("p", 1.0)
+        profiler.record("p", 2.0, calls=3)
+        assert profiler.phases["p"].calls == 4
+        assert profiler.phases["p"].wall_s == 3.0
+
+    def test_timed_charges_elapsed(self):
+        profiler = PhaseProfiler()
+        with profiler.timed("p"):
+            pass
+        stat = profiler.phases["p"]
+        assert stat.calls == 1
+        assert stat.wall_s >= 0.0
+
+    def test_span_is_timed(self):
+        profiler = PhaseProfiler()
+        with profiler.span("p"):
+            pass
+        assert profiler.phases["p"].calls == 1
+
+
+class TestReentrancy:
+    def test_nested_same_phase_charges_once(self):
+        """Inner spans of the same phase add calls, not seconds."""
+        profiler = PhaseProfiler()
+        with profiler.timed("p"):
+            inner_before = profiler.phases.get("p")
+            assert inner_before is None  # charged on exit, not entry
+            with profiler.timed("p"):
+                pass
+            # The inner span has exited: one call, zero seconds.
+            assert profiler.phases["p"].calls == 1
+            assert profiler.phases["p"].wall_s == 0.0
+        stat = profiler.phases["p"]
+        assert stat.calls == 2
+        # Only the outermost span's inclusive time was charged; the
+        # total cannot exceed one wall-clock measurement of the block.
+        assert stat.wall_s > 0.0
+
+    def test_triple_nesting(self):
+        profiler = PhaseProfiler()
+        with profiler.timed("p"):
+            with profiler.timed("p"):
+                with profiler.timed("p"):
+                    pass
+        stat = profiler.phases["p"]
+        assert stat.calls == 3
+        assert stat.wall_s > 0.0
+
+    def test_depth_resets_after_exception(self):
+        """A span unwound by an exception must not poison later spans."""
+        profiler = PhaseProfiler()
+        with pytest.raises(RuntimeError):
+            with profiler.timed("p"):
+                raise RuntimeError("boom")
+        assert profiler.phases["p"].calls == 1
+        with profiler.timed("p"):
+            pass
+        # The second span is outermost again: it charges real time.
+        assert profiler.phases["p"].calls == 2
+
+    def test_distinct_phases_nest_freely(self):
+        profiler = PhaseProfiler()
+        with profiler.timed("outer"):
+            with profiler.timed("inner"):
+                pass
+        assert profiler.phases["outer"].calls == 1
+        assert profiler.phases["inner"].calls == 1
+        # Both charged inclusive time independently.
+        assert profiler.phases["outer"].wall_s \
+            >= profiler.phases["inner"].wall_s
+
+    def test_sequential_spans_each_charge(self):
+        profiler = PhaseProfiler()
+        with profiler.timed("p"):
+            pass
+        first = profiler.phases["p"].wall_s
+        with profiler.timed("p"):
+            pass
+        assert profiler.phases["p"].calls == 2
+        assert profiler.phases["p"].wall_s >= first
+
+
+class TestMergeAndReports:
+    def test_merge_adds_stats(self):
+        left, right = PhaseProfiler(), PhaseProfiler()
+        left.record("a", 1.0)
+        right.record("a", 2.0)
+        right.record("b", 3.0)
+        left.merge(right)
+        assert left.phases["a"].wall_s == 3.0
+        assert left.phases["a"].calls == 2
+        assert left.phases["b"].wall_s == 3.0
+        assert left.total_wall_s == 6.0
+
+    def test_report_roundtrip(self):
+        profiler = PhaseProfiler()
+        profiler.record("a", 1.5, calls=2)
+        rebuilt = PhaseProfiler.from_report(profiler.report())
+        assert rebuilt.report() == profiler.report()
+        assert PhaseProfiler.from_report(None).report() == {}
+
+    def test_merge_reports(self):
+        first = PhaseProfiler()
+        first.record("a", 1.0)
+        second = PhaseProfiler()
+        second.record("a", 2.0)
+        merged = merge_reports([first.report(), None, second.report()])
+        assert merged["a"]["wall_s"] == 3.0
+        assert merged["a"]["calls"] == 2
+
+    def test_phasestat_add(self):
+        stat = PhaseStat()
+        stat.add(0.5)
+        stat.add(0.25, calls=2)
+        assert stat.calls == 3
+        assert stat.wall_s == 0.75

@@ -71,7 +71,7 @@ def test_list_rules(capsys):
     assert main(["--list-rules"]) == EXIT_CLEAN
     out = capsys.readouterr().out
     for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
-                    "RL006"):
+                    "RL006", "RL007"):
         assert rule_id in out
 
 

@@ -4,7 +4,8 @@ import pytest
 
 from repro.lintkit import ALL_RULES
 
-RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006"]
+RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007"]
 
 #: Expected diagnostic count in each rule's bad fixture (pinned so a
 #: rule silently going blind on one shape fails loudly).
@@ -15,6 +16,7 @@ EXPECTED_BAD_COUNTS = {
     "RL004": 3,
     "RL005": 5,
     "RL006": 2,
+    "RL007": 3,
 }
 
 

@@ -1,0 +1,124 @@
+"""The Telemetry facade: emitters, disabled mode, shard absorption."""
+
+from repro.telemetry import (DISABLED, Counter, Gauge, Histogram, ListSink,
+                             MetricsRegistry, RunManifest, Telemetry,
+                             Tracer, validate_event)
+
+
+def _events(telemetry):
+    sink = telemetry.tracer.sink
+    assert isinstance(sink, ListSink)
+    return sink.records
+
+
+class TestTracer:
+    def test_emit_builds_a_schema_valid_record(self):
+        sink = ListSink()
+        Tracer(sink, shard=3).emit("alarm_fired", 10.0, 7, alarm=2)
+        record = sink.records[0]
+        assert record == {"record": "event", "type": "alarm_fired",
+                          "t": 10.0, "shard": 3, "user": 7, "alarm": 2}
+        assert validate_event(record) == []
+
+    def test_userless_emit_omits_user(self):
+        sink = ListSink()
+        Tracer(sink).emit("shard_started", 0.0, vehicles=5)
+        assert "user" not in sink.records[0]
+
+
+class TestEmitters:
+    def test_every_emitter_writes_valid_events(self):
+        telemetry = Telemetry.capture()
+        telemetry.location_report(1.0, 1, nbytes=34, cost_us=12.0)
+        telemetry.saferegion_computed(1.0, 1, elapsed_us=55.0)
+        telemetry.saferegion_exit(9.0, 1, residence_s=8.0)
+        telemetry.alarm_fired(9.0, 1, alarm_id=4)
+        telemetry.downlink_sent(1.0, 1, nbytes=40, kind="rect")
+        telemetry.shard_started(12)
+        telemetry.shard_finished(12, wall_s=0.5)
+        events = _events(telemetry)
+        assert len(events) == 7
+        for record in events:
+            assert validate_event(record) == []
+
+    def test_emitters_feed_the_registry(self):
+        telemetry = Telemetry.capture()
+        telemetry.location_report(1.0, 1, nbytes=34, cost_us=12.0)
+        telemetry.location_report(2.0, 2, nbytes=34, cost_us=9.0)
+        telemetry.downlink_sent(1.0, 1, nbytes=40, kind="rect")
+        registry = telemetry.registry
+        assert registry.counter("uplink_messages").value == 2
+        assert registry.counter("uplink_bytes").value == 68
+        assert registry.counter("downlink_messages_rect").value == 1
+        hist = registry.histogram("downlink_payload_bits")
+        assert hist.count == 1 and hist.sum == 320
+
+    def test_index_fanout_is_registry_only(self):
+        telemetry = Telemetry.capture()
+        telemetry.index_fanout(3)
+        assert _events(telemetry) == []
+        assert telemetry.registry.histogram("index_fanout").count == 1
+
+    def test_wall_time_histograms_are_nondeterministic(self):
+        telemetry = Telemetry.capture()
+        telemetry.location_report(1.0, 1, nbytes=34, cost_us=12.0)
+        telemetry.saferegion_computed(1.0, 1, elapsed_us=5.0)
+        snapshot = telemetry.registry.deterministic_snapshot()
+        assert "report_cost_us" not in snapshot
+        assert "saferegion_compute_cost_us" not in snapshot
+        assert "uplink_messages" in snapshot
+
+
+class TestDisabledMode:
+    def test_disabled_emits_are_noops(self):
+        telemetry = Telemetry.disabled()
+        telemetry.location_report(1.0, 1, nbytes=34, cost_us=1.0)
+        telemetry.alarm_fired(1.0, 1, alarm_id=1)
+        telemetry.index_fanout(5)
+        telemetry.shard_started(3)
+        telemetry.write_summary({}, triggers=0, wall_time_s=0.0, workers=1)
+        assert len(telemetry.registry) == 0
+
+    def test_shared_singleton_is_disabled(self):
+        assert DISABLED.enabled is False
+        before = len(DISABLED.registry)
+        DISABLED.downlink_sent(1.0, 1, nbytes=8, kind="push")
+        assert len(DISABLED.registry) == before == 0
+
+
+class TestTraceLifecycle:
+    def test_manifest_and_summary_records(self):
+        manifest = RunManifest.collect("mwpsr", {"seed": 1}, git_sha="abc")
+        telemetry = Telemetry.capture(manifest=manifest)
+        telemetry.write_manifest()
+        telemetry.alarm_fired(1.0, 1, alarm_id=1)
+        telemetry.write_summary({"trigger_notifications": 1}, triggers=1,
+                                wall_time_s=0.25, workers=2)
+        records = _events(telemetry)
+        assert records[0]["record"] == "manifest"
+        assert records[-1]["record"] == "summary"
+        assert records[-1]["metrics"] == {"trigger_notifications": 1}
+        assert records[-1]["workers"] == 2
+        assert "alarms_fired" in records[-1]["registry"]
+
+    def test_absorb_shard_merges_events_and_registry(self):
+        shard = Telemetry.capture(shard=1)
+        shard.alarm_fired(3.0, 5, alarm_id=9)
+        parent = Telemetry.capture()
+        parent.alarm_fired(1.0, 2, alarm_id=4)
+        parent.absorb_shard(shard.drain_events(),
+                            shard.registry.to_dict())
+        events = _events(parent)
+        assert [record["shard"] for record in events] == [0, 1]
+        assert parent.registry.counter("alarms_fired").value == 2
+
+    def test_drain_events_empties_the_buffer(self):
+        telemetry = Telemetry.capture()
+        telemetry.alarm_fired(1.0, 1, alarm_id=1)
+        assert len(telemetry.drain_events()) == 1
+        assert telemetry.drain_events() == []
+
+
+def test_public_surface_reexports():
+    # The package root is the supported import path.
+    assert Counter and Gauge and Histogram and MetricsRegistry

@@ -1,0 +1,178 @@
+"""Golden telemetry suite: traced runs reconcile, sharded equals serial.
+
+Three contracts, asserted per strategy:
+
+* a traced run's event stream and telemetry registry reconcile exactly
+  with the engine's own ``Metrics`` totals (:func:`reconcile` — the
+  check ``repro report`` performs offline);
+* a two-shard traced run produces the *same* deterministic registry
+  snapshot as the serial run of the same seeded world — telemetry
+  inherits the parallel engine's differential guarantee;
+* tracing changes nothing: the traced run's ``Metrics`` equal the
+  untraced run's.
+
+Strategy factories live at module level so the worker pool can pickle
+them (same constraint as the engine's differential suite).
+"""
+
+import functools
+
+import pytest
+
+from repro.alarms import AlarmRegistry, install_random_alarms
+from repro.engine import (World, run_parallel_simulation, run_simulation)
+from repro.experiments.figures import (make_mwpsr_strategy,
+                                       make_pbsr_strategy)
+from repro.index import GridOverlay
+from repro.mobility import MobilityConfig, TraceGenerator
+from repro.roadnet import NetworkConfig, generate_network
+from repro.strategies import (OptimalStrategy, PeriodicStrategy,
+                              SafePeriodStrategy)
+from repro.telemetry import Telemetry, TraceData, event_counts, reconcile
+
+
+def _make_world():
+    network_config = NetworkConfig(universe_side_m=4000.0,
+                                   lattice_spacing_m=400.0)
+    network = generate_network(network_config, seed=11)
+    mobility = MobilityConfig(vehicle_count=10, duration_s=120.0)
+    traces = TraceGenerator(network, mobility, seed=12).generate()
+    registry = AlarmRegistry()
+    install_random_alarms(registry, network_config.universe, 120,
+                          traces.vehicle_ids(), public_fraction=0.25,
+                          min_side_m=120.0, max_side_m=400.0, seed=13)
+    grid = GridOverlay(network_config.universe, 1.0)
+    return World(universe=network_config.universe, grid=grid,
+                 registry=registry, traces=traces)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return _make_world()
+
+
+def _mwpsr():
+    return make_mwpsr_strategy(z=32)
+
+
+def _gbsr():
+    return make_pbsr_strategy(1)
+
+
+def _pbsr():
+    return make_pbsr_strategy(5)
+
+
+def _sp(max_speed):
+    return SafePeriodStrategy(max_speed=max_speed)
+
+
+def _factories(world):
+    return {
+        "MWPSR": _mwpsr,
+        "GBSR": _gbsr,
+        "PBSR": _pbsr,
+        "PRD": PeriodicStrategy,
+        "SP": functools.partial(_sp, world.max_speed()),
+        "OPT": OptimalStrategy,
+    }
+
+
+STRATEGY_KEYS = ("MWPSR", "GBSR", "PBSR", "PRD", "SP", "OPT")
+
+
+def _trace_data(telemetry, metrics):
+    """The TraceData a JSONL round-trip of this run would parse to.
+
+    Reads the buffer without draining it — the module-scoped fixture's
+    telemetry is shared across tests.
+    """
+    return TraceData(
+        manifest=None, events=list(telemetry.tracer.sink.records),
+        summary={"record": "summary", "metrics": metrics.counters(),
+                 "registry": telemetry.registry.to_dict()})
+
+
+@pytest.fixture(scope="module")
+def serial_runs(world):
+    """One traced serial run per strategy, shared across tests."""
+    runs = {}
+    for key, factory in _factories(world).items():
+        telemetry = Telemetry.capture()
+        result = run_simulation(world, factory(), telemetry=telemetry)
+        runs[key] = (result, telemetry)
+    return runs
+
+
+@pytest.mark.parametrize("key", STRATEGY_KEYS)
+class TestSerialReconciliation:
+    def test_trace_reconciles_with_metrics(self, serial_runs, key):
+        result, telemetry = serial_runs[key]
+        outcome = reconcile(_trace_data(telemetry, result.metrics))
+        assert outcome["ok"], [entry for entry in outcome["checks"]
+                               if not entry["ok"]]
+
+    def test_event_pairing_invariants(self, serial_runs, key):
+        """The 1:1 pairings behind the reconciliation contract."""
+        result, telemetry = serial_runs[key]
+        registry = telemetry.registry
+        counts = event_counts(telemetry.tracer.sink.records)
+        metrics = result.metrics
+        assert counts.get("location_report", 0) == metrics.uplink_messages
+        assert counts.get("downlink_sent", 0) == metrics.downlink_messages
+        assert counts.get("alarm_fired", 0) == metrics.trigger_notifications
+        assert counts.get("saferegion_computed", 0) \
+            == metrics.safe_region_computations
+        # Every exit closes a previously installed region: never more
+        # exits than downlinks that could have installed one.
+        assert counts.get("saferegion_exit", 0) \
+            <= metrics.downlink_messages
+
+        def counter_value(name):
+            # get(), not counter(): must not create instruments in the
+            # shared fixture registry (PRD never sends a downlink).
+            instrument = registry.get(name)
+            return instrument.value if instrument is not None else 0
+
+        assert counter_value("uplink_bytes") == metrics.uplink_bytes
+        assert counter_value("downlink_bytes") == metrics.downlink_bytes
+
+
+@pytest.mark.parametrize("key", STRATEGY_KEYS)
+class TestShardedEqualsSerial:
+    def test_merged_telemetry_matches_serial(self, world, serial_runs,
+                                             key):
+        _, serial_telemetry = serial_runs[key]
+        sharded_telemetry = Telemetry.capture()
+        sharded = run_parallel_simulation(world, _factories(world)[key],
+                                          workers=2,
+                                          telemetry=sharded_telemetry)
+        assert sharded_telemetry.registry.deterministic_snapshot() \
+            == serial_telemetry.registry.deterministic_snapshot()
+        outcome = reconcile(_trace_data(sharded_telemetry,
+                                        sharded.metrics))
+        assert outcome["ok"], [entry for entry in outcome["checks"]
+                               if not entry["ok"]]
+
+    def test_tracing_does_not_change_the_run(self, world, serial_runs,
+                                             key):
+        untraced = run_simulation(world, _factories(world)[key]())
+        traced_result, _ = serial_runs[key]
+        assert untraced.metrics.counters() \
+            == traced_result.metrics.counters()
+        assert untraced.metrics.triggers == traced_result.metrics.triggers
+
+
+def test_shard_events_carry_their_shard_index(world):
+    telemetry = Telemetry.capture()
+    run_parallel_simulation(world, _mwpsr, workers=2, telemetry=telemetry)
+    events = telemetry.tracer.sink.records
+    shards = {record["shard"] for record in events}
+    assert shards == {0, 1}
+    starts = [record for record in events
+              if record["type"] == "shard_started"]
+    finishes = [record for record in events
+                if record["type"] == "shard_finished"]
+    assert len(starts) == len(finishes) == 2
+    assert sum(record["vehicles"] for record in starts) \
+        == len(world.traces)

@@ -1,0 +1,73 @@
+"""Trace sinks: buffering, JSONL round-trip, corrupt-input reporting."""
+
+import io
+
+import pytest
+
+from repro.telemetry import (JsonlSink, ListSink, NullSink, read_jsonl)
+
+
+class TestListSink:
+    def test_buffers_in_order(self):
+        sink = ListSink()
+        sink.write_record({"n": 1})
+        sink.write_record({"n": 2})
+        assert [r["n"] for r in sink.records] == [1, 2]
+
+    def test_drain_returns_and_clears(self):
+        sink = ListSink()
+        sink.write_record({"n": 1})
+        assert sink.drain() == [{"n": 1}]
+        assert sink.records == []
+        assert sink.drain() == []
+
+
+def test_null_sink_swallows():
+    sink = NullSink()
+    sink.write_record({"n": 1})
+    sink.close()
+
+
+class TestJsonlSink:
+    def test_path_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write_record({"b": 2, "a": 1})
+        sink.write_record({"record": "event", "t": 1.5})
+        sink.close()
+        assert read_jsonl(path) == [{"a": 1, "b": 2},
+                                    {"record": "event", "t": 1.5}]
+
+    def test_output_is_key_sorted_and_compact(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.write_record({"z": 1, "a": 2})
+        sink.close()
+        assert path.read_text() == '{"a":2,"z":1}\n'
+
+    def test_borrowed_handle_left_open(self):
+        handle = io.StringIO()
+        sink = JsonlSink(handle)
+        sink.write_record({"a": 1})
+        sink.close()  # flushes, does not close
+        assert not handle.closed
+        assert handle.getvalue() == '{"a":1}\n'
+
+
+class TestReadJsonl:
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a":1}\n\n{"b":2}\n')
+        assert read_jsonl(path) == [{"a": 1}, {"b": 2}]
+
+    def test_corrupt_line_reports_number(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"a":1}\n{"b": tru\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('[1,2]\n')
+        with pytest.raises(ValueError, match="not an object"):
+            read_jsonl(path)

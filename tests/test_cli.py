@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.telemetry import read_trace, validate_trace
 
 
 class TestList:
@@ -81,3 +84,97 @@ class TestAnalyze:
         assert "Workload profile" in out
         assert "safe-region area" in out
         assert "Proposition 3" in out
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    """One traced two-shard tiny run, shared by the telemetry CLI tests."""
+    path = tmp_path_factory.mktemp("traces") / "run.jsonl"
+    assert main(["simulate", "--strategy", "mwpsr", "--workload", "tiny",
+                 "--workers", "2", "--trace", str(path)]) == 0
+    return path
+
+
+class TestSimulateTrace:
+    def test_trace_file_is_valid(self, trace_path, capsys):
+        data = read_trace(trace_path)
+        assert validate_trace(data) == []
+        assert data.manifest is not None
+        assert data.manifest.strategy == "mwpsr"
+        assert data.manifest.workers == 2
+        assert {r["shard"] for r in data.events} == {0, 1}
+
+    def test_manifest_carries_seeds_and_extras(self, trace_path):
+        manifest = read_trace(trace_path).manifest
+        assert manifest.seeds  # the workload config is seeded
+        assert "sizes" in manifest.extras
+        assert "energy" in manifest.extras
+
+
+class TestReport:
+    def test_text_report_reconciles(self, trace_path, capsys):
+        assert main(["report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "reconciliation vs Metrics totals: OK" in out
+        assert "strategy:     mwpsr" in out
+
+    def test_json_report(self, trace_path, capsys):
+        assert main(["report", str(trace_path),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reconciliation"]["ok"] is True
+        assert payload["manifest"]["workers"] == 2
+
+    def test_prom_report(self, trace_path, capsys):
+        assert main(["report", str(trace_path),
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_uplink_messages counter" in out
+        assert 'repro_run_info{strategy="mwpsr"' in out
+
+    def test_broken_trace_exits_nonzero(self, trace_path, tmp_path,
+                                        capsys):
+        # Drop one event record: reconciliation must fail loudly.
+        lines = trace_path.read_text().splitlines()
+        dropped = next(i for i, line in enumerate(lines)
+                       if '"type":"location_report"' in line)
+        broken = tmp_path / "broken.jsonl"
+        broken.write_text(
+            "\n".join(lines[:dropped] + lines[dropped + 1:]) + "\n")
+        assert main(["report", str(broken)]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_tail_defaults_to_last_events(self, trace_path, capsys):
+        assert main(["trace", "tail", str(trace_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 10  # default tail limit
+
+    def test_filter_by_type_and_user(self, trace_path, capsys):
+        assert main(["trace", "filter", str(trace_path),
+                     "--type", "alarm_fired", "--limit", "5"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out
+        assert all("alarm_fired" in line for line in out.splitlines())
+
+    def test_filter_by_shard(self, trace_path, capsys):
+        assert main(["trace", "filter", str(trace_path),
+                     "--shard", "1", "--limit", "3"]) == 0
+        for line in capsys.readouterr().out.strip().splitlines():
+            assert "shard=1" in line
+
+    def test_validate_clean_trace(self, trace_path, capsys):
+        assert main(["trace", "validate", str(trace_path)]) == 0
+        assert "0 problems" in capsys.readouterr().out
+
+    def test_validate_corrupt_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"record":"event","type":"nope","t":0,'
+                       '"shard":0}\n')
+        assert main(["trace", "validate", str(bad)]) == 1
+
+    def test_unknown_type_rejected(self, trace_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "filter", str(trace_path),
+                  "--type", "teleported"])
