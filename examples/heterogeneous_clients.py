@@ -10,9 +10,12 @@ single simulation in which every device class gets its own technique —
 * mid-range phones -> PBSR with a short pyramid (h=2);
 * flagship phones  -> PBSR with a tall pyramid (h=6);
 
-— by composing the library's strategies into a per-client dispatcher,
-and then reports messages and energy per device class.  It also shows
-how to extend :class:`ProcessingStrategy` without touching the engine.
+— by composing the library's strategies into a per-client dispatcher
+on *both* sides of the wire (a dispatching client strategy and a
+dispatching :class:`ServerPolicy`), and then reports messages and probe
+work per device class.  It also shows how to extend the protocol layer
+without touching the engine: per-class uplink counting rides on a
+custom transport, the single place all traffic crosses.
 
 Run:  python examples/heterogeneous_clients.py
 """
@@ -24,11 +27,29 @@ from repro import (AlarmRegistry, AlarmScope, GridOverlay, MWPSRComputer,
                    RectangularSafeRegionStrategy, BitmapSafeRegionStrategy,
                    SteadyMotionModel, TraceGenerator, World, generate_network,
                    run_simulation)
+from repro.protocol.handlers import ServerPolicy
+from repro.protocol.transport import InProcessTransport
 from repro.strategies import ProcessingStrategy
 
 
+class PerClientPolicy(ServerPolicy):
+    """Server half: route each request to its device class's policy."""
+
+    def __init__(self, assign, policies):
+        self.assign = assign          # user_id -> class name
+        self.policies = policies      # class name -> ServerPolicy
+
+    def on_location_report(self, server, request, time_s, triggered):
+        policy = self.policies[self.assign(request.user_id)]
+        return policy.on_location_report(server, request, time_s, triggered)
+
+    def on_region_exit(self, server, request, time_s, triggered):
+        policy = self.policies[self.assign(request.user_id)]
+        return policy.on_region_exit(server, request, time_s, triggered)
+
+
 class PerClientStrategy(ProcessingStrategy):
-    """Dispatches every client to the strategy its device class uses."""
+    """Client half: dispatch every client to its device class's strategy."""
 
     name = "per-device"
 
@@ -36,10 +57,15 @@ class PerClientStrategy(ProcessingStrategy):
         self.assign = assign          # user_id -> class name
         self.strategies = strategies  # class name -> strategy
 
-    def attach(self, server):
-        super().attach(server)
+    def server_policy(self):
+        return PerClientPolicy(self.assign,
+                               {name: s.server_policy()
+                                for name, s in self.strategies.items()})
+
+    def attach(self, session):
+        super().attach(session)
         for strategy in self.strategies.values():
-            strategy.attach(server)
+            strategy.attach(session)
 
     def on_sample(self, client, sample):
         self.strategies[self.assign(client.user_id)].on_sample(client,
@@ -86,24 +112,44 @@ strategy = PerClientStrategy(device_class, {
                                          name="PBSR(h=6)"),
 })
 
-# Wrap the metrics-charging helpers to split counters per device class.
+# ----------------------------------------------------------------------
+# Per-class accounting.  Uplinks are counted where they actually cross:
+# a custom transport (every request carries its user id).  Probe work is
+# counted by wrapping each class strategy's _charge_probe — dispatch is
+# per class, so each instance's probes belong to exactly one class.
+# ----------------------------------------------------------------------
 per_class = defaultdict(lambda: {"uplinks": 0, "ops": 0, "fixes": 0})
+
+
+class ClassCountingTransport(InProcessTransport):
+    """The reliable transport, plus a per-device-class uplink tally."""
+
+    __slots__ = ()
+
+    def request(self, request, time_s):
+        per_class[device_class(request.user_id)]["uplinks"] += 1
+        return super().request(request, time_s)
+
+
+for class_name, class_strategy in strategy.strategies.items():
+    def charge(ops, _bucket=per_class[class_name],
+               _charge=class_strategy._charge_probe):
+        _bucket["ops"] += ops
+        _charge(ops)
+    class_strategy._charge_probe = charge
+
 original_on_sample = strategy.on_sample
 
 
 def counting_on_sample(client, sample):
-    bucket = per_class[device_class(client.user_id)]
-    before_up = strategy.server.metrics.uplink_messages
-    before_ops = strategy.server.metrics.containment_ops
+    per_class[device_class(client.user_id)]["fixes"] += 1
     original_on_sample(client, sample)
-    bucket["fixes"] += 1
-    bucket["uplinks"] += strategy.server.metrics.uplink_messages - before_up
-    bucket["ops"] += strategy.server.metrics.containment_ops - before_ops
 
 
 strategy.on_sample = counting_on_sample
 
-result = run_simulation(world, strategy)
+result = run_simulation(world, strategy,
+                        transport_factory=ClassCountingTransport)
 assert result.accuracy.perfect
 
 print("One simulation, three device classes, 100%% of %d alarms on time.\n"

@@ -29,6 +29,8 @@ from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
                           residence_statistics, safe_region_statistics,
                           workload_profile)
 from .lintkit.cli import add_lint_arguments, run_lint_command
+from .protocol.transport import (InProcessTransport, LossyTransport,
+                                 TransportFactory)
 from .strategies import (OptimalStrategy, PeriodicStrategy,
                          ProcessingStrategy, SafePeriodStrategy)
 from .telemetry import (EVENT_TYPES, JsonlSink, RunManifest, Telemetry,
@@ -120,11 +122,27 @@ def _cmd_world(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_transport(args: argparse.Namespace
+                       ) -> Optional[TransportFactory]:
+    """The transport factory the simulate flags ask for (None: default)."""
+    lossy = args.uplink_drop > 0.0 or args.downlink_drop > 0.0
+    if lossy:
+        return functools.partial(LossyTransport,
+                                 verify_wire=args.verify_wire,
+                                 uplink_drop=args.uplink_drop,
+                                 downlink_drop=args.downlink_drop,
+                                 seed=args.net_seed)
+    if args.verify_wire:
+        return functools.partial(InProcessTransport, verify_wire=True)
+    return None
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = _resolve_workload(args)
     world = build_world(config, args.cell)
     if args.workers < 1:
         raise SystemExit("--workers must be a positive integer")
+    transport_factory = _resolve_transport(args)
     telemetry: Optional[Telemetry] = None
     if args.trace:
         manifest = RunManifest.collect(
@@ -141,15 +159,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             # instance.
             factory = functools.partial(_resolve_strategy, args.strategy,
                                         world.max_speed())
-            result = run_parallel_simulation(world, factory,
-                                             workers=args.workers,
-                                             profile=args.profile,
-                                             telemetry=telemetry)
+            result = run_parallel_simulation(
+                world, factory, workers=args.workers,
+                use_cell_cache=args.cell_cache,
+                use_region_cache=args.region_cache,
+                profile=args.profile, telemetry=telemetry,
+                transport_factory=transport_factory)
         else:
             strategy = _resolve_strategy(args.strategy, world.max_speed())
             profiler = PhaseProfiler() if args.profile else None
-            result = run_simulation(world, strategy, profiler=profiler,
-                                    telemetry=telemetry)
+            result = run_simulation(world, strategy,
+                                    use_cell_cache=args.cell_cache,
+                                    use_region_cache=args.region_cache,
+                                    profiler=profiler, telemetry=telemetry,
+                                    transport_factory=transport_factory)
         if telemetry is not None:
             telemetry.write_summary(result.metrics.counters(),
                                     triggers=len(result.metrics.triggers),
@@ -175,6 +198,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           "safe-region computation"
           % (1000 * metrics.alarm_processing_time_s,
              1000 * metrics.saferegion_time_s))
+    if args.region_cache:
+        print("region cache:         %d hits / %d misses "
+              "(%d safe-region computations)"
+              % (metrics.saferegion_cache_hits,
+                 metrics.saferegion_cache_misses,
+                 metrics.safe_region_computations))
+    if metrics.uplink_drops or metrics.downlink_drops:
+        print("transport drops:      %d uplink, %d downlink (retried)"
+              % (metrics.uplink_drops, metrics.downlink_drops))
     print("triggers:             %d delivered / %d expected "
           "(missed %d, spurious %d, late %d)"
           % (result.accuracy.delivered, result.accuracy.expected,
@@ -294,6 +326,29 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="record a JSONL telemetry trace "
                                       "(manifest + events + summary) "
                                       "readable by `repro report`")
+    simulate_parser.add_argument("--cell-cache", action="store_true",
+                                 help="enable the server's per-cell alarm "
+                                      "cache (identical results, less "
+                                      "index work)")
+    simulate_parser.add_argument("--region-cache", action="store_true",
+                                 help="enable the shared cell-keyed "
+                                      "safe-region memo (identical "
+                                      "messages, fewer bitmap "
+                                      "computations)")
+    simulate_parser.add_argument("--uplink-drop", type=float, default=0.0,
+                                 metavar="P",
+                                 help="lossy transport: per-attempt uplink "
+                                      "drop probability in [0, 1)")
+    simulate_parser.add_argument("--downlink-drop", type=float, default=0.0,
+                                 metavar="P",
+                                 help="lossy transport: per-attempt "
+                                      "downlink drop probability in [0, 1)")
+    simulate_parser.add_argument("--net-seed", type=int, default=0,
+                                 help="seed of the lossy transport's "
+                                      "private RNG (default 0)")
+    simulate_parser.add_argument("--verify-wire", action="store_true",
+                                 help="encode every message and assert "
+                                      "charged bytes == encoded bytes")
     add_workload_options(simulate_parser)
     simulate_parser.set_defaults(handler=_cmd_simulate)
 

@@ -1,206 +1,30 @@
-"""Wire-format codec for the client-server protocol.
+"""Compatibility shim: the codec moved to :mod:`repro.protocol.wire`.
 
-The simulation charges bandwidth through the byte constants in
-:class:`~repro.engine.network.MessageSizes`; this module is the actual
-encoding those constants describe, so the cost model is not hand-waved:
-every message type round-trips through real bytes, and the test suite
-asserts that the encoded lengths match what ``MessageSizes`` charges.
-
-Layout conventions: little-endian, fixed-width header of
-``(message_type: u8, reserved: u8, length: u16, sender: u32,
-timestamp: f64)`` = 16 bytes on downlinks; the uplink location report is
-a bare 32-byte struct (the header fields are folded into it).  Bitmap
-payloads carry the pyramid geometry needed to decode them (base-cell
-reference and bit count) followed by the packed bits.
+The wire-format functions grew into the protocol package's codec layer
+(typed messages in :mod:`repro.protocol.messages`, byte layout and the
+:class:`~repro.protocol.wire.WireCodec` in :mod:`repro.protocol.wire`).
+This module re-exports the original flat API so pre-protocol call sites
+— notably the wire-true client monitor in
+:mod:`repro.saferegion.containment` and external notebooks — keep
+working unchanged.
 """
 
 from __future__ import annotations
 
-import struct
-from dataclasses import dataclass
-from enum import IntEnum
-from typing import List, Tuple
+from ..protocol.messages import LocationReport
+from ..protocol.wire import (MessageType, decode_alarm_push,
+                             decode_bitmap_region, decode_location,
+                             decode_rect_region, decode_safe_period,
+                             encode_alarm_push, encode_bitmap_region,
+                             encode_location, encode_rect_region,
+                             encode_safe_period, peek_type)
 
-from ..geometry import Point, Rect
-from ..index import Pyramid
-from ..saferegion.bitmap import PyramidBitmap, decode_bitstring
-
-_UPLINK = struct.Struct("<IIddff")          # 32 bytes
-_HEADER = struct.Struct("<BBHId")           # 16 bytes
-_RECT = struct.Struct("<dddd")              # 32 bytes
-_SAFE_PERIOD = struct.Struct("<d")          # 8 bytes
-_ALARM_FIXED = struct.Struct("<Qdddd")      # 40 bytes: id + rect
-_BITMAP_FIXED = struct.Struct("<QI")        # 12 bytes: cell ref + bit count
-
-
-class MessageType(IntEnum):
-    """Downlink message discriminators."""
-
-    RECT_SAFE_REGION = 1
-    BITMAP_SAFE_REGION = 2
-    SAFE_PERIOD = 3
-    ALARM_PUSH = 4
-
-
-@dataclass(frozen=True)
-class LocationReport:
-    """Client -> server position fix."""
-
-    user_id: int
-    sequence: int
-    position: Point
-    heading: float
-    speed: float
-
-
-def encode_location(report: LocationReport) -> bytes:
-    """Encode an uplink location report (32 bytes)."""
-    return _UPLINK.pack(report.user_id, report.sequence,
-                        report.position.x, report.position.y,
-                        report.heading, report.speed)
-
-
-def decode_location(payload: bytes) -> LocationReport:
-    """Decode an uplink location report."""
-    user_id, sequence, x, y, heading, speed = _UPLINK.unpack(payload)
-    return LocationReport(user_id=user_id, sequence=sequence,
-                          position=Point(x, y), heading=heading,
-                          speed=speed)
-
-
-def _header(message_type: MessageType, payload_length: int, sender: int,
-            timestamp: float) -> bytes:
-    if payload_length > 0xFFFF:
-        raise ValueError("payload too large for the 16-bit length field")
-    return _HEADER.pack(int(message_type), 0, payload_length, sender,
-                        timestamp)
-
-
-def _split_header(data: bytes) -> Tuple[MessageType, int, float, bytes]:
-    message_type, _, length, sender, timestamp = _HEADER.unpack(
-        data[:_HEADER.size])
-    payload = data[_HEADER.size:]
-    if len(payload) != length:
-        raise ValueError("payload length mismatch: header says %d, got %d"
-                         % (length, len(payload)))
-    return MessageType(message_type), sender, timestamp, payload
-
-
-# ----------------------------------------------------------------------
-# Rectangular safe region
-# ----------------------------------------------------------------------
-def encode_rect_region(rect: Rect, sender: int = 0,
-                       timestamp: float = 0.0) -> bytes:
-    """Encode a rectangular safe-region downlink (16 + 32 bytes)."""
-    payload = _RECT.pack(rect.min_x, rect.min_y, rect.max_x, rect.max_y)
-    return _header(MessageType.RECT_SAFE_REGION, len(payload), sender,
-                   timestamp) + payload
-
-
-def decode_rect_region(data: bytes) -> Rect:
-    message_type, _, _, payload = _split_header(data)
-    if message_type is not MessageType.RECT_SAFE_REGION:
-        raise ValueError("not a rectangular safe-region message")
-    return Rect(*_RECT.unpack(payload))
-
-
-# ----------------------------------------------------------------------
-# Safe period
-# ----------------------------------------------------------------------
-def encode_safe_period(expiry: float, sender: int = 0,
-                       timestamp: float = 0.0) -> bytes:
-    """Encode a safe-period downlink (16 + 8 bytes)."""
-    payload = _SAFE_PERIOD.pack(expiry)
-    return _header(MessageType.SAFE_PERIOD, len(payload), sender,
-                   timestamp) + payload
-
-
-def decode_safe_period(data: bytes) -> float:
-    message_type, _, _, payload = _split_header(data)
-    if message_type is not MessageType.SAFE_PERIOD:
-        raise ValueError("not a safe-period message")
-    return _SAFE_PERIOD.unpack(payload)[0]
-
-
-# ----------------------------------------------------------------------
-# Alarm push (the OPT strategy)
-# ----------------------------------------------------------------------
-def encode_alarm_push(cell: Rect, alarms: List[Tuple[int, Rect]],
-                      alert_payload_bytes: int = 216, sender: int = 0,
-                      timestamp: float = 0.0) -> bytes:
-    """Encode an OPT alarm push.
-
-    Each alarm entry carries its id, region and ``alert_payload_bytes``
-    of opaque alert content (the text/media the client must be able to
-    raise without contacting the server).  The default entry size
-    (40 + 216 = 256 bytes) matches ``MessageSizes.alarm_entry``.
-    """
-    parts = [_RECT.pack(cell.min_x, cell.min_y, cell.max_x, cell.max_y)]
-    for alarm_id, region in alarms:
-        parts.append(_ALARM_FIXED.pack(alarm_id, region.min_x, region.min_y,
-                                       region.max_x, region.max_y))
-        parts.append(bytes(alert_payload_bytes))
-    payload = b"".join(parts)
-    return _header(MessageType.ALARM_PUSH, len(payload), sender,
-                   timestamp) + payload
-
-
-def decode_alarm_push(data: bytes, alert_payload_bytes: int = 216
-                      ) -> Tuple[Rect, List[Tuple[int, Rect]]]:
-    message_type, _, _, payload = _split_header(data)
-    if message_type is not MessageType.ALARM_PUSH:
-        raise ValueError("not an alarm-push message")
-    cell = Rect(*_RECT.unpack(payload[:_RECT.size]))
-    cursor = _RECT.size
-    entry_size = _ALARM_FIXED.size + alert_payload_bytes
-    alarms: List[Tuple[int, Rect]] = []
-    while cursor < len(payload):
-        alarm_id, min_x, min_y, max_x, max_y = _ALARM_FIXED.unpack(
-            payload[cursor:cursor + _ALARM_FIXED.size])
-        alarms.append((alarm_id, Rect(min_x, min_y, max_x, max_y)))
-        cursor += entry_size
-    return cell, alarms
-
-
-# ----------------------------------------------------------------------
-# Bitmap safe region
-# ----------------------------------------------------------------------
-def encode_bitmap_region(cell_ref: int, bitmap: PyramidBitmap,
-                         sender: int = 0, timestamp: float = 0.0) -> bytes:
-    """Encode a bitmap safe-region downlink.
-
-    ``cell_ref`` identifies the base grid cell (the client derives the
-    cell rectangle and pyramid geometry from its grid parameters).  The
-    bit count travels explicitly so the final partial byte is
-    unambiguous; total size is 16 + 12 + ceil(bits/8) bytes, matching
-    ``MessageSizes.bitmap_message``.
-    """
-    bits = bitmap.to_bitstring()
-    packed = bytearray((len(bits) + 7) // 8)
-    for index, bit in enumerate(bits):
-        if bit == "1":
-            packed[index // 8] |= 1 << (7 - index % 8)
-    payload = _BITMAP_FIXED.pack(cell_ref, len(bits)) + bytes(packed)
-    return _header(MessageType.BITMAP_SAFE_REGION, len(payload), sender,
-                   timestamp) + payload
-
-
-def decode_bitmap_region(data: bytes, pyramid: Pyramid
-                         ) -> Tuple[int, PyramidBitmap]:
-    """Decode a bitmap downlink against the client's pyramid geometry."""
-    message_type, _, _, payload = _split_header(data)
-    if message_type is not MessageType.BITMAP_SAFE_REGION:
-        raise ValueError("not a bitmap safe-region message")
-    cell_ref, bit_count = _BITMAP_FIXED.unpack(
-        payload[:_BITMAP_FIXED.size])
-    packed = payload[_BITMAP_FIXED.size:]
-    bits: List[str] = []
-    for index in range(bit_count):
-        byte = packed[index // 8]
-        bits.append("1" if byte & (1 << (7 - index % 8)) else "0")
-    return cell_ref, decode_bitstring(pyramid, "".join(bits))
-
-
-def peek_type(data: bytes) -> MessageType:
-    """Message type of an encoded downlink without full decoding."""
-    return MessageType(data[0])
+__all__ = [
+    "MessageType", "LocationReport",
+    "encode_location", "decode_location",
+    "encode_rect_region", "decode_rect_region",
+    "encode_safe_period", "decode_safe_period",
+    "encode_alarm_push", "decode_alarm_push",
+    "encode_bitmap_region", "decode_bitmap_region",
+    "peek_type",
+]

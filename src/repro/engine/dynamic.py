@@ -35,9 +35,10 @@ from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Set,
 
 from ..alarms import AlarmRegistry, AlarmScope, SpatialAlarm
 from ..geometry import Rect
+from ..protocol.messages import InvalidateState
+from ..protocol.transport import ClientSession, connect
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
-from .network import DOWNLINK_INVALIDATE
 from .server import AlarmServer
 from .simulation import GroundTruth, SimulationResult, World
 
@@ -192,12 +193,11 @@ def run_dynamic_simulation(world: World, strategy: "ProcessingStrategy",
     applier = _ScheduleApplier(registry, schedule)
     metrics = Metrics()
     server = AlarmServer(registry, world.grid, metrics, sizes=world.sizes)
-    strategy.attach(server)
+    session = connect(server, strategy)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
     interval = world.traces.sample_interval
     max_steps = max((len(trace) for trace in world.traces), default=0)
-    push_bytes = world.sizes.downlink_header
 
     started = time.perf_counter()
     previous_time = float("-inf")
@@ -209,12 +209,12 @@ def run_dynamic_simulation(world: World, strategy: "ProcessingStrategy",
         for alarm in installed:
             for client in clients.values():
                 if _stale_after_install(client, alarm):
-                    _invalidate(client, server, push_bytes, step_time)
+                    _invalidate(client, session, step_time)
         for alarm_id in removed:
             for client in clients.values():
-                if any(alarm.alarm_id == alarm_id
-                       for alarm in client.local_alarms):
-                    _invalidate(client, server, push_bytes, step_time)
+                if any(record.alarm_id == alarm_id
+                       for record in client.local_alarms):
+                    _invalidate(client, session, step_time)
         for trace in world.traces:
             if step < len(trace):
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
@@ -249,10 +249,10 @@ def _stale_after_install(client: "ClientState",
     return True  # non-geometric state (safe-period timer): always stale
 
 
-def _invalidate(client: "ClientState", server: AlarmServer,
-                push_bytes: int, time_s: float) -> None:
+def _invalidate(client: "ClientState", session: ClientSession,
+                time_s: float) -> None:
     """Server push: drop the client's cached state; it re-syncs next fix."""
-    telemetry = server.telemetry
+    telemetry = session.telemetry
     if telemetry.enabled and client.region_installed_at is not None:
         telemetry.saferegion_exit(time_s, client.user_id,
                                   time_s - client.region_installed_at)
@@ -261,5 +261,5 @@ def _invalidate(client: "ClientState", server: AlarmServer,
     client.expiry = float("-inf")
     client.local_alarms = []
     client.region_installed_at = None
-    server.send_downlink(push_bytes, user_id=client.user_id,
-                         time_s=time_s, kind=DOWNLINK_INVALIDATE)
+    # Header-only InvalidateState push; the transport charges its bytes.
+    session.transport.push(client.user_id, InvalidateState(), time_s)

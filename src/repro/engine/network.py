@@ -3,38 +3,45 @@
 The paper measures the number of client-to-server messages and the
 downstream bandwidth consumed broadcasting safe regions; to report the
 latter we need byte sizes for every message the protocol exchanges.
-Sizes are deliberately simple and documented — the comparisons depend on
-their ratios (a rectangle is tiny, a bitmap is ``|B|`` bits, an OPT alarm
-push grows with alarm count), not their absolute values.
+Since the protocol refactor the sizes are *derived*, not asserted: every
+default below points at the struct layout in :mod:`repro.protocol.wire`,
+so the accounting table cannot drift from what the codec actually
+serializes (``WireCodec.from_sizes`` additionally rejects any
+``MessageSizes`` whose fixed fields disagree with the wire).  The
+comparisons depend on the ratios (a rectangle is tiny, a bitmap is
+``|B|`` bits, an OPT alarm push grows with alarm count), not the
+absolute values.
+
+The ``DOWNLINK_*`` kind constants live with the message types in
+:mod:`repro.protocol.messages` and are re-exported here for
+compatibility with pre-protocol call sites.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
-#: Downlink payload kinds as reported in telemetry (``downlink_sent``
-#: events and the per-kind ``downlink_messages_<kind>`` counters).  One
-#: kind per protocol payload, plus the push-invalidation of the
-#: dynamic/tracking engines and a generic fallback.
-DOWNLINK_RECT = "rect"
-DOWNLINK_SAFE_PERIOD = "safe_period"
-DOWNLINK_BITMAP = "bitmap"
-DOWNLINK_ALARM_PUSH = "alarm_push"
-DOWNLINK_INVALIDATE = "invalidate"
-DOWNLINK_PUSH = "push"
+from ..protocol import wire
+from ..protocol.messages import (DOWNLINK_ALARM_PUSH, DOWNLINK_BITMAP,
+                                 DOWNLINK_INVALIDATE, DOWNLINK_KINDS,
+                                 DOWNLINK_PUSH, DOWNLINK_RECT,
+                                 DOWNLINK_SAFE_PERIOD)
 
-DOWNLINK_KINDS: Tuple[str, ...] = (DOWNLINK_RECT, DOWNLINK_SAFE_PERIOD,
-                                   DOWNLINK_BITMAP, DOWNLINK_ALARM_PUSH,
-                                   DOWNLINK_INVALIDATE, DOWNLINK_PUSH)
+__all__ = [
+    "MessageSizes",
+    "DOWNLINK_ALARM_PUSH", "DOWNLINK_BITMAP", "DOWNLINK_INVALIDATE",
+    "DOWNLINK_KINDS", "DOWNLINK_PUSH", "DOWNLINK_RECT",
+    "DOWNLINK_SAFE_PERIOD",
+]
 
 
 @dataclass(frozen=True)
 class MessageSizes:
-    """Byte sizes of the protocol messages.
+    """Byte sizes of the protocol messages (struct-derived defaults).
 
-    uplink_location     client -> server position report: user id (8),
-                        x, y (16), heading (4), speed (4).
+    uplink_location     client -> server position report: user id and
+                        sequence (8), x, y (16), heading (4), speed (4).
     downlink_header     fixed header on every server -> client payload.
     rect_payload        a rectangular safe region: 4 x float64.
     safe_period_payload a safe period: one float64.
@@ -43,17 +50,21 @@ class MessageSizes:
                         must carry the *full alarm record* — id, region,
                         scope, authorization and the alert payload — since
                         the OPT client raises alerts autonomously without
-                        contacting the server.  Default 256 bytes.
+                        contacting the server.  The alert payload is the
+                        one size the wire cannot dictate (it is opaque
+                        application content), so ``alarm_entry`` is the
+                        single tunable: fixed part (40) + default alert
+                        payload (216) = 256 bytes.
     bitmap_fixed        bitmap safe-region fixed part: base-cell
                         reference (8) + bit count (4).
     """
 
-    uplink_location: int = 32
-    downlink_header: int = 16
-    rect_payload: int = 32
-    safe_period_payload: int = 8
-    alarm_entry: int = 256
-    bitmap_fixed: int = 12
+    uplink_location: int = wire.UPLINK_LOCATION_SIZE
+    downlink_header: int = wire.DOWNLINK_HEADER_SIZE
+    rect_payload: int = wire.RECT_PAYLOAD_SIZE
+    safe_period_payload: int = wire.SAFE_PERIOD_PAYLOAD_SIZE
+    alarm_entry: int = wire.DEFAULT_ALARM_ENTRY_SIZE
+    bitmap_fixed: int = wire.BITMAP_FIXED_SIZE
 
     def rect_message(self) -> int:
         """Bytes of a rectangular safe-region downlink."""

@@ -47,6 +47,7 @@ from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
 from ..alarms import AlarmRegistry
 from ..index import GridOverlay
 from ..mobility import TraceSet
+from ..protocol.transport import TransportFactory, connect
 from ..telemetry.facade import DISABLED, Telemetry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
@@ -61,7 +62,9 @@ if TYPE_CHECKING:  # runtime import would cycle through strategies.base
 #: A picklable zero-argument callable producing a fresh strategy.
 #: Module-level functions, classes and :func:`functools.partial` of
 #: either all qualify; lambdas and closures do not cross the process
-#: boundary.
+#: boundary.  The same constraint applies to the optional
+#: ``TransportFactory`` handed to :func:`run_parallel_simulation` — it
+#: crosses the same process boundary.
 StrategyFactory = Callable[[], "ProcessingStrategy"]
 
 #: What one shard ships back: metrics, optional profile report, replay
@@ -130,10 +133,10 @@ def _replay_inherited_shard(index: int) -> _ShardOutcome:
     """Fork-path worker body: replay shard ``index`` of ``_INHERITED``."""
     assert _INHERITED is not None, "inherited state missing in fork child"
     (registry, grid, shards, sizes, strategy_factory, use_cell_cache,
-     profile, trace) = _INHERITED
+     profile, trace, transport_factory, use_region_cache) = _INHERITED
     return _replay_shard(registry, grid, shards[index], sizes,
                          strategy_factory, use_cell_cache, profile,
-                         trace, index)
+                         trace, index, transport_factory, use_region_cache)
 
 
 def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
@@ -141,7 +144,9 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
                   strategy_factory: StrategyFactory,
                   use_cell_cache: bool, profile: bool,
                   trace: bool = False,
-                  shard_index: int = 0) -> _ShardOutcome:
+                  shard_index: int = 0,
+                  transport_factory: Optional[TransportFactory] = None,
+                  use_region_cache: bool = False) -> _ShardOutcome:
     """Worker body: replay one shard against a private server.
 
     Top-level by design (process pools pickle the callable).  Returns
@@ -154,9 +159,10 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
     profiler = PhaseProfiler() if profile else None
     telemetry = Telemetry.capture(shard=shard_index) if trace else DISABLED
     server = AlarmServer(registry, grid, metrics, sizes=sizes,
-                         use_cell_cache=use_cell_cache, profiler=profiler,
-                         telemetry=telemetry)
-    strategy.attach(server)
+                         use_cell_cache=use_cell_cache,
+                         use_region_cache=use_region_cache,
+                         profiler=profiler, telemetry=telemetry)
+    connect(server, strategy, transport_factory)
     if telemetry.enabled:
         telemetry.shard_started(len(traces))
     started = time.perf_counter()
@@ -178,7 +184,10 @@ def run_parallel_simulation(world: World,
                             workers: Optional[int] = None,
                             use_cell_cache: bool = False,
                             profile: bool = False,
-                            telemetry: Optional[Telemetry] = None
+                            telemetry: Optional[Telemetry] = None,
+                            transport_factory: Optional[TransportFactory]
+                            = None,
+                            use_region_cache: bool = False
                             ) -> SimulationResult:
     """Replay the world sharded over ``workers`` processes and merge.
 
@@ -221,7 +230,8 @@ def run_parallel_simulation(world: World,
         for shard in shards:  # zero or one shard: stay in-process
             outcomes.append(_replay_shard(
                 world.registry, world.grid, shard, world.sizes,
-                strategy_factory, use_cell_cache, profile, trace, 0))
+                strategy_factory, use_cell_cache, profile, trace, 0,
+                transport_factory, use_region_cache))
     elif multiprocessing.get_start_method() == "fork":
         # Fast path: fork children inherit the shard payload through
         # copy-on-write memory, so only a shard *index* crosses the
@@ -230,7 +240,8 @@ def run_parallel_simulation(world: World,
         # set; clearing it afterwards keeps runs re-entrant-safe.
         global _INHERITED
         _INHERITED = (world.registry, world.grid, shards, world.sizes,
-                      strategy_factory, use_cell_cache, profile, trace)
+                      strategy_factory, use_cell_cache, profile, trace,
+                      transport_factory, use_region_cache)
         try:
             with ProcessPoolExecutor(max_workers=len(shards),
                                      initializer=_worker_init) as pool:
@@ -244,7 +255,8 @@ def run_parallel_simulation(world: World,
                                  initializer=_worker_init) as pool:
             futures = [pool.submit(_replay_shard, world.registry, world.grid,
                                    shard, world.sizes, strategy_factory,
-                                   use_cell_cache, profile, trace, index)
+                                   use_cell_cache, profile, trace, index,
+                                   transport_factory, use_region_cache)
                        for index, shard in enumerate(shards)]
             outcomes = [future.result() for future in futures]  # shard order
 

@@ -1,44 +1,62 @@
 """The alarm-processing server.
 
 One :class:`AlarmServer` instance plays the server role for a single
-simulation run: it receives client location reports, evaluates them
-against the alarm index, fires alarms with one-shot semantics, and times
-its two work components — *alarm processing* (trigger evaluation per
-location report) and *safe-region computation* (everything a strategy
-does to produce a safe region or safe period) — which are the two bars
-of the paper's server-load figures (Fig. 4(b), Fig. 6(d)).
+simulation run: it evaluates client location reports against the alarm
+index, fires alarms with one-shot semantics, and times its two work
+components — *alarm processing* (trigger evaluation per location report)
+and *safe-region computation* (everything a policy does to produce a
+safe region or safe period) — which are the two bars of the paper's
+server-load figures (Fig. 4(b), Fig. 6(d)).
+
+Since the protocol refactor the server is *stateless handlers over
+explicit state*: every mutable thing it knows lives in its
+:class:`~repro.protocol.state.ServerState`, requests arrive as typed
+messages through :func:`~repro.protocol.handlers.handle_request`, and
+all message/byte accounting happens at the transport boundary
+(:mod:`repro.protocol.transport`) — this class no longer owns any
+traffic counter.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager, nullcontext
-from typing import (TYPE_CHECKING, ContextManager, Dict, Iterator, List,
+from typing import (TYPE_CHECKING, ContextManager, Iterator, List,
                     Optional, Set)
 
 from ..alarms import AlarmRegistry, SpatialAlarm
 from ..geometry import Point, Rect
+from ..geometry.eps import feq
 from ..index import GridOverlay
+from ..protocol.state import ServerState
 from ..telemetry.facade import DISABLED, Telemetry
 from .metrics import Metrics, TriggerEvent
-from .network import DOWNLINK_PUSH, MessageSizes
+from .network import MessageSizes
 from .profiling import PhaseProfiler
 
-if TYPE_CHECKING:  # imported lazily at runtime (only when caching is on)
-    from ..alarms.cellcache import CellAlarmCache
+if TYPE_CHECKING:  # runtime import would pull bitmap machinery eagerly
+    from ..saferegion.bitmap import BitmapSafeRegion
+    from ..saferegion.cache import CacheKey
 
 _NULL_CONTEXT: ContextManager[None] = nullcontext()
 
 
 class AlarmServer:
-    """Server-side state and accounting for one simulation run."""
+    """Server-side processing and accounting for one simulation run."""
 
     def __init__(self, registry: AlarmRegistry, grid: GridOverlay,
                  metrics: Metrics,
                  sizes: MessageSizes = MessageSizes(),
                  use_cell_cache: bool = False,
+                 use_region_cache: bool = False,
                  profiler: Optional[PhaseProfiler] = None,
                  telemetry: Optional[Telemetry] = None) -> None:
+        # All mutable server knowledge lives in the explicit state store;
+        # registry/grid stay as aliases because every policy and index
+        # path reads them.
+        self.state = ServerState(registry, grid,
+                                 use_cell_cache=use_cell_cache,
+                                 use_region_cache=use_region_cache)
         self.registry = registry
         self.grid = grid
         self.metrics = metrics
@@ -49,49 +67,13 @@ class AlarmServer:
         # (never None) keeps every hot-path guard a plain attribute
         # check instead of an `is None` test plus a method call.
         self.telemetry = telemetry if telemetry is not None else DISABLED
-        # One-shot bookkeeping: alarm ids already fired, per user.
-        self._fired: Dict[int, Set[int]] = {}
-        # Optional per-cell alarm cache (safe-region hot path): the grid
-        # is fixed, so each cell's alarm list can be memoized and served
-        # with relevance filtering instead of an R*-tree range query.
-        self._cell_cache: Optional["CellAlarmCache"] = None
-        if use_cell_cache:
-            from ..alarms.cellcache import CellAlarmCache
-            self._cell_cache = CellAlarmCache(registry, grid)
 
     # ------------------------------------------------------------------
     # One-shot state
     # ------------------------------------------------------------------
     def fired_for(self, user_id: int) -> Set[int]:
         """Alarm ids already fired for ``user_id`` (mutable view)."""
-        fired = self._fired.get(user_id)
-        if fired is None:
-            fired = set()
-            self._fired[user_id] = fired
-        return fired
-
-    # ------------------------------------------------------------------
-    # Message accounting
-    # ------------------------------------------------------------------
-    def receive_location(self, nbytes: int) -> None:
-        self.metrics.uplink_messages += 1
-        self.metrics.uplink_bytes += nbytes
-
-    def send_downlink(self, nbytes: int, user_id: Optional[int] = None,
-                      time_s: Optional[float] = None,
-                      kind: str = DOWNLINK_PUSH) -> None:
-        """Account one downlink payload; emit its event when traced.
-
-        ``user_id``/``time_s``/``kind`` exist for telemetry only —
-        accounting is identical without them, but a traced run's
-        reconciliation check (events vs ``Metrics``) flags any call
-        site that forgets to identify its payload.
-        """
-        self.metrics.downlink_messages += 1
-        self.metrics.downlink_bytes += nbytes
-        telemetry = self.telemetry
-        if telemetry.enabled and user_id is not None and time_s is not None:
-            telemetry.downlink_sent(time_s, user_id, nbytes, kind)
+        return self.state.fired_for(user_id)
 
     # ------------------------------------------------------------------
     # Alarm processing
@@ -102,19 +84,17 @@ class AlarmServer:
 
         Fires every pending relevant alarm whose region interior contains
         ``position`` and records a trigger notification per firing.  The
-        work is timed into the *alarm processing* bucket.
+        work is timed into the *alarm processing* bucket.  (The
+        ``location_report`` event and the uplink byte accounting belong
+        to the transport that delivered the report, not to this method —
+        it can be called directly in tests without touching a counter.)
         """
         fired = self.fired_for(user_id)
         telemetry = self.telemetry
-        cost_started = time.perf_counter() if telemetry.enabled else 0.0
         with self._timed_alarm_processing(), \
                 self.profiled("alarm_processing"):
             triggered = self.registry.triggered_at(user_id, position,
                                                    exclude_ids=fired)
-        if telemetry.enabled:
-            telemetry.location_report(
-                time_s, user_id, self.sizes.uplink_location,
-                (time.perf_counter() - cost_started) * 1e6)
         self.metrics.alarm_evaluations += 1
         for alarm in triggered:
             fired.add(alarm.alarm_id)
@@ -137,10 +117,18 @@ class AlarmServer:
         """Pending (unfired) relevant alarms interior-overlapping ``rect``."""
         with self.profiled("index_lookup"):
             pending: Optional[List[SpatialAlarm]] = None
-            if self._cell_cache is not None:
+            cell_cache = self.state.cell_cache
+            if cell_cache is not None:
                 cell = self.grid.cell_of(rect.center)
-                if self.grid.cell_rect(cell) == rect:
-                    pending = self._cell_cache.relevant_pending(
+                cell_rect = self.grid.cell_rect(cell)
+                # Tolerant match: the query rect may be reconstructed
+                # from wire floats, so exact equality would silently
+                # skip the cache on round-off (RL002 territory).
+                if (feq(cell_rect.min_x, rect.min_x)
+                        and feq(cell_rect.min_y, rect.min_y)
+                        and feq(cell_rect.max_x, rect.max_x)
+                        and feq(cell_rect.max_y, rect.max_y)):
+                    pending = cell_cache.relevant_pending(
                         user_id, cell, exclude_ids=self.fired_for(user_id))
             if pending is None:
                 pending = self.registry.relevant_intersecting(
@@ -157,11 +145,42 @@ class AlarmServer:
             return self.registry.nearest_relevant_distance(
                 user_id, position, exclude_ids=self.fired_for(user_id))
 
+    # ------------------------------------------------------------------
+    # Shared safe-region memo (GBSR/PBSR computation sharing, paper §4)
+    # ------------------------------------------------------------------
+    def cached_region(self, user_id: int, time_s: float,
+                      key: "CacheKey") -> Optional["BitmapSafeRegion"]:
+        """The memoized bitmap region for ``key``, or ``None``.
+
+        Counts the hit or miss in ``Metrics`` and the telemetry registry
+        — the sanctioned path for policies, which may not touch either
+        directly (lintkit RL008).  Always ``None`` when the region cache
+        is disabled, without counting anything.
+        """
+        cache = self.state.region_cache
+        if cache is None:
+            return None
+        region = cache.lookup(key)
+        if region is None:
+            self.metrics.saferegion_cache_misses += 1
+        else:
+            self.metrics.saferegion_cache_hits += 1
+        telemetry = self.telemetry
+        if telemetry.enabled:
+            telemetry.saferegion_cache(time_s, user_id,
+                                       hit=region is not None)
+        return region
+
+    def store_region(self, key: "CacheKey",
+                     region: "BitmapSafeRegion") -> None:
+        """Memoize a freshly computed bitmap region (no-op when off)."""
+        cache = self.state.region_cache
+        if cache is not None:
+            cache.store(key, region)
+
     def close(self) -> None:
-        """Release run-scoped resources (detach the cell cache, if any)."""
-        if self._cell_cache is not None:
-            self._cell_cache.detach()
-            self._cell_cache = None
+        """Release run-scoped resources (idempotent; delegates to state)."""
+        self.state.close()
 
     # ------------------------------------------------------------------
     # Timing buckets
@@ -169,7 +188,7 @@ class AlarmServer:
     def profiled(self, phase: str) -> ContextManager[None]:
         """Time a block into the profiler's ``phase`` (no-op when off).
 
-        Strategies mark their phase boundaries with this; with no
+        Policies mark their phase boundaries with this; with no
         profiler attached it returns a shared null context, keeping the
         unprofiled hot path allocation-free.
         """
@@ -191,15 +210,19 @@ class AlarmServer:
 
     @contextmanager
     def timed_saferegion(self, user_id: Optional[int] = None,
-                         time_s: Optional[float] = None) -> Iterator[None]:
+                         time_s: Optional[float] = None,
+                         count: bool = True) -> Iterator[None]:
         """Time a block into the *safe-region computation* bucket.
 
-        Strategies wrap their safe-region (or safe-period) production in
+        Policies wrap their safe-region (or safe-period) production in
         this context manager so Fig. 4(b)/6(d) can split server load.
         ``user_id``/``time_s`` identify the computation for telemetry;
         the ``saferegion_computed`` event fires exactly when the
         ``safe_region_computations`` counter increments (on clean exit),
-        so the two reconcile by construction.
+        so the two reconcile by construction.  ``count=False`` accrues
+        time and index accesses without counting a computation — used
+        around the pending-alarm lookup on the region-cache path, where
+        a hit means no region was actually computed.
         """
         accesses_before = self.registry.tree.stats.node_accesses
         started = time.perf_counter()
@@ -210,6 +233,8 @@ class AlarmServer:
             self.metrics.saferegion_time_s += elapsed
             self.metrics.index_node_accesses += (
                 self.registry.tree.stats.node_accesses - accesses_before)
+        if not count:
+            return
         self.metrics.safe_region_computations += 1
         telemetry = self.telemetry
         if telemetry.enabled and user_id is not None and time_s is not None:

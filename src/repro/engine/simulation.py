@@ -24,6 +24,7 @@ from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..index import GridOverlay
 from ..mobility import TraceSet
+from ..protocol.transport import TransportFactory, connect
 from ..telemetry.facade import DISABLED, Telemetry
 from .energy import EnergyModel
 from .groundtruth import (AccuracyReport, TriggerKey, compute_ground_truth,
@@ -145,13 +146,22 @@ def replay_vehicle_major(strategy: "ProcessingStrategy",
 def run_simulation(world: World, strategy: "ProcessingStrategy",
                    use_cell_cache: bool = False,
                    profiler: Optional[PhaseProfiler] = None,
-                   telemetry: Optional[Telemetry] = None
+                   telemetry: Optional[Telemetry] = None,
+                   transport_factory: Optional[TransportFactory] = None,
+                   use_region_cache: bool = False
                    ) -> SimulationResult:
     """Replay the world's traces through ``strategy`` and score the run.
 
     ``use_cell_cache`` enables the server's per-cell alarm cache (see
     :class:`~repro.alarms.CellAlarmCache`) — identical results, less
-    index work per safe-region computation.  ``profiler`` attaches
+    index work per safe-region computation.  ``use_region_cache``
+    enables the cell-keyed safe-region memo (see
+    :class:`~repro.saferegion.cache.SafeRegionCache`) — identical
+    messages and bytes, fewer bitmap computations when many users share
+    cells.  ``transport_factory`` selects the link between the
+    strategy's client half and the server (default: the reliable
+    in-process transport; pass a :class:`~repro.protocol.transport.LossyTransport`
+    factory to simulate drops and retries).  ``profiler`` attaches
     per-phase wall-time accounting (see :mod:`repro.engine.profiling`);
     the report lands on ``result.profile``.  ``telemetry`` attaches the
     structured telemetry facade (see :mod:`repro.telemetry`); ``None``
@@ -162,8 +172,9 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, use_cell_cache=use_cell_cache,
+                         use_region_cache=use_region_cache,
                          profiler=profiler, telemetry=telemetry)
-    strategy.attach(server)
+    connect(server, strategy, transport_factory)
     if telemetry.enabled:
         telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
@@ -190,7 +201,8 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
 def run_interleaved_simulation(
         world: World, strategy: "ProcessingStrategy",
         on_step: Optional[Callable[[int, float, AlarmServer], None]] = None,
-        telemetry: Optional[Telemetry] = None
+        telemetry: Optional[Telemetry] = None,
+        transport_factory: Optional[TransportFactory] = None
 ) -> SimulationResult:
     """Time-major replay with an optional per-step world mutation hook.
 
@@ -207,7 +219,7 @@ def run_interleaved_simulation(
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, telemetry=telemetry)
-    strategy.attach(server)
+    connect(server, strategy, transport_factory)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
     max_steps = max((len(trace) for trace in world.traces), default=0)

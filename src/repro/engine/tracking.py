@@ -38,11 +38,12 @@ from typing import (TYPE_CHECKING, Dict, List, Optional, Sequence, Set,
 from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..mobility import Trace
+from ..protocol.messages import InvalidateState
+from ..protocol.transport import ClientSession, connect
 from ..telemetry.facade import DISABLED, Telemetry
 from .dynamic import _clone_registry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
-from .network import DOWNLINK_INVALIDATE
 from .profiling import PhaseProfiler
 from .server import AlarmServer
 from .simulation import GroundTruth, SimulationResult, World
@@ -119,11 +120,10 @@ def run_tracking_simulation(world: World, strategy: "ProcessingStrategy",
     metrics = Metrics()
     server = AlarmServer(registry, world.grid, metrics, sizes=world.sizes,
                          profiler=profiler, telemetry=telemetry)
-    strategy.attach(server)
+    session = connect(server, strategy)
     clients = {trace.vehicle_id: ClientState(trace.vehicle_id)
                for trace in world.traces}
     max_steps = max((len(trace) for trace in world.traces), default=0)
-    push_bytes = world.sizes.downlink_header
 
     if telemetry.enabled:
         telemetry.shard_started(len(world.traces))
@@ -140,7 +140,7 @@ def run_tracking_simulation(world: World, strategy: "ProcessingStrategy",
         if moves:
             for client in clients.values():
                 if _stale_after_moves(client, server, registry, moves):
-                    _invalidate(client, server, push_bytes, step_time)
+                    _invalidate(client, session, step_time)
         for trace in world.traces:
             if step < len(trace):
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
@@ -186,9 +186,9 @@ def _stale_after_moves(client: "ClientState", server: AlarmServer,
     return True  # safe-period timers are global bounds: always stale
 
 
-def _invalidate(client: "ClientState", server: AlarmServer,
-                push_bytes: int, time_s: float) -> None:
-    telemetry = server.telemetry
+def _invalidate(client: "ClientState", session: ClientSession,
+                time_s: float) -> None:
+    telemetry = session.telemetry
     if telemetry.enabled and client.region_installed_at is not None:
         # A push-invalidation forcibly ends the client's residency.
         telemetry.saferegion_exit(time_s, client.user_id,
@@ -198,5 +198,5 @@ def _invalidate(client: "ClientState", server: AlarmServer,
     client.expiry = float("-inf")
     client.local_alarms = []
     client.region_installed_at = None
-    server.send_downlink(push_bytes, user_id=client.user_id,
-                         time_s=time_s, kind=DOWNLINK_INVALIDATE)
+    # Header-only InvalidateState push; the transport charges its bytes.
+    session.transport.push(client.user_id, InvalidateState(), time_s)

@@ -138,12 +138,13 @@ def residence_statistics(world: World, strategy: ProcessingStrategy,
     """
     from ..engine import Metrics
     from ..engine.server import AlarmServer
+    from ..protocol.transport import connect
     from ..strategies.base import ClientState
 
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes)
-    strategy.attach(server)
+    connect(server, strategy)
     residences: List[float] = []
     vehicle_ids = world.traces.vehicle_ids()
     if max_vehicles is not None:

@@ -3,4 +3,4 @@
 from . import (rl001_frozen_geometry, rl002_float_equality,  # noqa: F401
                rl003_unseeded_randomness, rl004_fork_safety,
                rl005_saferegion_contract, rl006_no_wallclock,
-               rl007_no_print_telemetry)
+               rl007_no_print_telemetry, rl008_protocol_boundary)

@@ -250,6 +250,17 @@ class LazyPyramidBitmap:
             self._compute()
         return self._bit_length  # type: ignore[return-value]
 
+    def to_bitstring(self) -> str:
+        """Same serialization as :meth:`PyramidBitmap.to_bitstring`.
+
+        Serialization is the one question that genuinely needs every
+        emitted bit, so this delegates to the eager builder; callers on
+        the simulation hot path use ``bit_length`` (closed form) and
+        only the wire-fidelity checks pay for full materialization.
+        """
+        bitmap, _ = build_pyramid_bitmap(self.pyramid, self.obstacles)
+        return bitmap.to_bitstring()
+
     def coverage(self) -> float:
         if self._safe_area is None:
             self._compute()

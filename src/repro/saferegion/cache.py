@@ -1,0 +1,99 @@
+"""Cell-keyed memo cache for bitmap (GBSR/PBSR) safe regions.
+
+The paper's §4 observation: a bitmap safe region depends only on the
+grid cell and the obstacle set carved out of it — not on which subscriber
+asked.  On a server with many users per cell, one computation can
+therefore serve every co-located subscriber whose *pending* alarm set
+over that cell is the same.  This cache memoizes computed bitmap regions
+under the key ``(cell, public alarm ids, personal alarm ids)``:
+
+* the **cell id** scopes the geometry;
+* the **alarm-id fingerprints** capture everything the region depends
+  on.  Per-user divergence — a subscriber who already fired one of the
+  cell's alarms, or who owns private alarms there — lands on a different
+  fingerprint and misses, so sharing never leaks another user's region.
+
+Consistency with alarm churn mirrors
+:class:`~repro.alarms.cellcache.CellAlarmCache`: the cache subscribes to
+the registry's mutation hooks and drops exactly the cells an install /
+removal / relocation touches.  Hit/miss totals surface as ``Metrics``
+fields and ``MetricsRegistry`` counters so ``repro report`` reconciles
+them like every other instrument.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..alarms import AlarmRegistry, SpatialAlarm
+from ..geometry import Rect
+from ..index import CellId, GridOverlay
+from .bitmap import BitmapSafeRegion
+
+#: (cell, sorted public alarm ids, sorted personal alarm ids)
+CacheKey = Tuple[CellId, Tuple[int, ...], Tuple[int, ...]]
+
+
+def fingerprint(cell: CellId, public: Iterable[SpatialAlarm],
+                personal: Iterable[SpatialAlarm]) -> CacheKey:
+    """The memo key of a bitmap computation's full input."""
+    return (cell,
+            tuple(sorted(alarm.alarm_id for alarm in public)),
+            tuple(sorted(alarm.alarm_id for alarm in personal)))
+
+
+class SafeRegionCache:
+    """Memoized bitmap safe regions over a fixed grid.
+
+    Plug into the server's bitmap path by consulting :meth:`lookup`
+    before computing and calling :meth:`store` after; the regions
+    themselves are immutable (the bitmap types expose only probes), so
+    a cached region is shared by reference, never copied.
+    """
+
+    def __init__(self, registry: AlarmRegistry, grid: GridOverlay) -> None:
+        self.registry = registry
+        self.grid = grid
+        self._regions: Dict[CacheKey, BitmapSafeRegion] = {}
+        self.hits = 0
+        self.misses = 0
+        registry.add_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: CacheKey) -> Optional[BitmapSafeRegion]:
+        """The memoized region for ``key``, counting the hit or miss."""
+        region = self._regions.get(key)
+        if region is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return region
+
+    def store(self, key: CacheKey, region: BitmapSafeRegion) -> None:
+        """Memoize a freshly computed region under its input key."""
+        self._regions[key] = region
+
+    # ------------------------------------------------------------------
+    def _on_mutation(self, alarm_id: int, old_region: Optional[Rect],
+                     new_region: Optional[Rect]) -> None:
+        """Registry hook: drop the cells an alarm change touches."""
+        stale = set()
+        for region in (old_region, new_region):
+            if region is None:
+                continue
+            stale.update(self.grid.cells_intersecting(region))
+        if stale:
+            self._regions = {key: value
+                             for key, value in self._regions.items()
+                             if key[0] not in stale}
+
+    def invalidate_all(self) -> None:
+        self._regions.clear()
+
+    def detach(self) -> None:
+        """Unsubscribe from the registry (end-of-run cleanup)."""
+        self.registry.remove_listener(self._on_mutation)
+
+    @property
+    def cached_regions(self) -> int:
+        return len(self._regions)

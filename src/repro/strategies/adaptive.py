@@ -14,6 +14,10 @@ region, every alarm region is outside the region, so the first sample
 that could trigger an alarm is at or after a scheduled probe — and
 probes chain forward until they land on it.
 
+The server half is the plain :class:`RectangularPolicy` — adaptivity is
+purely a client-side scheduling decision, which the protocol split
+makes literal: the server cannot tell the two strategies apart.
+
 The energy ablation benchmark measures the probe reduction; the test
 suite asserts the accuracy contract is intact.
 """
@@ -22,8 +26,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..engine.network import DOWNLINK_RECT
 from ..mobility import TraceSample
+from ..protocol.messages import InstallSafeRegion, ServerReply
 from ..saferegion import MWPSRComputer, RectangularSafeRegion
 from .base import ClientState
 from .rectangular import RectangularSafeRegionStrategy
@@ -62,21 +66,16 @@ class AdaptiveRectangularStrategy(RectangularSafeRegionStrategy):
                 return
             self._note_region_exit(client, sample.time)
 
-        self._uplink_location()
-        server = self.server
-        server.process_location(client.user_id, sample.time, sample.position)
-        with server.timed_saferegion(client.user_id, sample.time):
-            cell = server.current_cell(sample.position)
-            pending = server.pending_alarms_in(client.user_id, cell)
-            result = self.computer.compute(sample.position, sample.heading,
-                                           cell,
-                                           [alarm.region
-                                            for alarm in pending])
-        client.safe_region = result.to_safe_region()
-        client.cell_rect = cell
-        client.expiry = sample.time + (
-            result.rect.boundary_distance(sample.position) / self.max_speed)
-        self._mark_region_installed(client, sample.time)
-        server.send_downlink(server.sizes.rect_message(),
-                             user_id=client.user_id, time_s=sample.time,
-                             kind=DOWNLINK_RECT)
+        reply = self._send_report(client, sample, exit=True)
+        self._install(client, sample, reply)
+
+    def _install(self, client: ClientState, sample: TraceSample,
+                 reply: ServerReply) -> None:
+        for message in reply:
+            if isinstance(message, InstallSafeRegion):
+                assert message.rect is not None
+                client.safe_region = RectangularSafeRegion(message.rect)
+                client.expiry = sample.time + (
+                    message.rect.boundary_distance(sample.position)
+                    / self.max_speed)
+                self._mark_region_installed(client, sample.time)

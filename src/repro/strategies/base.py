@@ -1,10 +1,17 @@
 """Processing-strategy interface.
 
-A *strategy* is one of the paper's alarm-processing approaches: it
-defines what the client does on every position fix, what it sends to the
-server, and what the server computes and ships back.  Both sides run
-in-process against the shared :class:`~repro.engine.server.AlarmServer`,
-whose metrics object records every message, probe and timed computation.
+A *strategy* is one of the paper's alarm-processing approaches, split
+along the paper's own client/server line: the strategy object is the
+**client half** (what the device does on every position fix, and when it
+speaks), and its :meth:`ProcessingStrategy.server_policy` supplies the
+**server half** (a :class:`~repro.protocol.handlers.ServerPolicy` that
+computes safe regions, safe periods or alarm lists in response to
+requests).  The two halves communicate exclusively through the typed
+protocol messages of :mod:`repro.protocol.messages`, carried by the
+:class:`~repro.protocol.transport.ClientSession` the engine attaches —
+never by sharing Python state — so any transport (in-process, lossy)
+can sit between them and the byte accounting at the transport boundary
+covers everything they exchange.
 
 Strategies must uphold the accuracy contract: every ground-truth trigger
 is delivered, at the sample where it occurs (verified by the engine).
@@ -12,14 +19,16 @@ is delivered, at the sample where it occurs (verified by the engine).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, ContextManager, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
-from ..engine.server import AlarmServer
 from ..geometry import Rect
 from ..mobility import TraceSample
+from ..protocol.handlers import EVALUATE_ONLY, ServerPolicy
+from ..protocol.messages import (AlarmRecord, LocationReport,
+                                 RegionExitReport, ServerReply)
 
 if TYPE_CHECKING:
-    from ..alarms import SpatialAlarm
+    from ..protocol.transport import ClientSession
     from ..saferegion.base import SafeRegion
 
 
@@ -31,15 +40,17 @@ class ClientState:
     object; the attributes below cover all built-in strategies.
     """
 
-    __slots__ = ("user_id", "safe_region", "cell_rect", "expiry",
-                 "local_alarms", "region_installed_at")
+    __slots__ = ("user_id", "sequence", "safe_region", "cell_rect",
+                 "expiry", "local_alarms", "region_installed_at")
 
     def __init__(self, user_id: int) -> None:
         self.user_id = user_id
+        # Uplink sequence number; increments per report sent.
+        self.sequence: int = 0
         self.safe_region: Optional[SafeRegion] = None
         self.cell_rect: Optional[Rect] = None
         self.expiry: float = float("-inf")  # safe-period strategy
-        self.local_alarms: List[SpatialAlarm] = []  # optimal strategy
+        self.local_alarms: List[AlarmRecord] = []  # optimal strategy
         # Simulation time the current safe region (or safe period, or
         # OPT alarm set) began its residency; None between residencies.
         # Telemetry-only: drives the saferegion_exit residence metric.
@@ -50,14 +61,29 @@ class ClientState:
 
 
 class ProcessingStrategy:
-    """Interface implemented by every alarm-processing approach."""
+    """Client half of an alarm-processing approach."""
 
     #: Short identifier used in reports ("PRD", "SP", "MWPSR", ...).
     name: str = "?"
 
-    def attach(self, server: AlarmServer) -> None:
-        """Bind the strategy to the run's server before the first sample."""
-        self.server = server
+    def server_policy(self) -> ServerPolicy:
+        """The server half this strategy needs behind the transport.
+
+        The default is the shared evaluate-only policy: the server
+        answers reports with nothing but alarm notifications (the
+        periodic baseline).  Strategies that install monitoring state
+        return their own policy object, constructed per call so each
+        run (and each shard) gets an independent instance.
+        """
+        return EVALUATE_ONLY
+
+    def attach(self, session: "ClientSession") -> None:
+        """Bind the client half to the run's session before any sample.
+
+        The engines call :func:`repro.protocol.connect`, which builds
+        the policy and transport and then attaches the session here.
+        """
+        self.session = session
 
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         """Handle one position fix of one client."""
@@ -66,19 +92,22 @@ class ProcessingStrategy:
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------
-    def _profiled(self, phase: str) -> ContextManager[None]:
-        """Per-phase profiling context (no-op unless the run profiles).
+    def _send_report(self, client: ClientState, sample: TraceSample,
+                     exit: bool = False) -> ServerReply:
+        """One uplink exchange for this fix; returns the typed replies.
 
-        Strategies wrap their safe-region computation proper in
-        ``self._profiled("saferegion_compute")`` and their downlink
-        payload production in ``self._profiled("encoding")``; the
-        server's own methods mark ``alarm_processing`` and
-        ``index_lookup`` internally.
+        ``exit=True`` sends a :class:`RegionExitReport` (the client's
+        installed state ended), telling the server policy to renew
+        monitoring state rather than merely evaluate.
         """
-        return self.server.profiled(phase)
-
-    def _uplink_location(self) -> None:
-        self.server.receive_location(self.server.sizes.uplink_location)
+        request_type = RegionExitReport if exit else LocationReport
+        request = request_type(user_id=client.user_id,
+                               sequence=client.sequence,
+                               position=sample.position,
+                               heading=sample.heading,
+                               speed=sample.speed)
+        client.sequence += 1
+        return self.session.send(request, sample.time)
 
     def _mark_region_installed(self, client: ClientState,
                                time_s: float) -> None:
@@ -98,12 +127,10 @@ class ProcessingStrategy:
         if installed_at is None:
             return
         client.region_installed_at = None
-        telemetry = self.server.telemetry
+        telemetry = self.session.telemetry
         if telemetry.enabled:
             telemetry.saferegion_exit(time_s, client.user_id,
                                       time_s - installed_at)
 
     def _charge_probe(self, ops: int) -> None:
-        metrics = self.server.metrics
-        metrics.containment_checks += 1
-        metrics.containment_ops += ops
+        self.session.charge_probe(ops)

@@ -1,34 +1,57 @@
 """Distributed processing with bitmap-encoded safe regions (GBSR/PBSR).
 
 The server ships a bitmap safe region covering the client's current base
-grid cell; the client walks the pyramid (O(h) bit probes per fix) to
-monitor itself.  Protocol events:
+grid cell (an :class:`~repro.protocol.messages.InstallSafeRegion`
+carrying a cell reference plus the pyramid bitmap); the client derives
+the cell rectangle from the reference and its grid configuration, then
+walks the pyramid (O(h) bit probes per fix) to monitor itself.  Protocol
+events:
 
-* client leaves the base cell -> report; server evaluates triggers,
-  builds the bitmap for the new cell, ships it (this is the only event
-  that *requires* recomputation — Section 4.2);
-* client inside the cell but in an unsafe (bit 0) area -> report every
-  fix while there; the server evaluates triggers and, only when an alarm
-  actually fired, folds the fired alarm back into the safe region and
-  ships the updated bitmap (the paper's quick-update path);
+* client leaves the base cell -> :class:`RegionExitReport`; the server
+  evaluates triggers, builds the bitmap for the new cell, ships it
+  (this is the only event that *requires* recomputation — Section 4.2);
+* client inside the cell but in an unsafe (bit 0) area ->
+  :class:`LocationReport` every fix while there; the server evaluates
+  triggers and, only when an alarm actually fired, folds the fired
+  alarm back into the safe region and ships the updated bitmap (the
+  paper's quick-update path);
 * client in a safe (bit 1) area -> silence.
 
 The frequent reports from unsafe areas are exactly why coarse bitmaps
 (GBSR) flood the server with messages while tall pyramids approach the
 rectangular strategies' message counts at higher client energy — the
 trade-off of Fig. 5.
+
+**Computation sharing** (paper §4): a bitmap depends only on the cell
+and the pending alarm set over it — not on which subscriber asked — so
+with the server's region cache enabled
+(``AlarmServer(use_region_cache=True)``) the policy consults the
+cell-keyed memo before computing and stores what it computes.  Per-user
+divergence (already-fired alarms, private alarms) lands on a different
+fingerprint and misses, so sharing never leaks another user's region;
+message and byte totals are unchanged because caching short-circuits
+only the *computation*, never the downlink.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import (TYPE_CHECKING, List, Optional, Protocol, Sequence,
+                    Tuple)
 
 from ..alarms import AlarmScope, SpatialAlarm
-from ..engine.network import DOWNLINK_BITMAP
 from ..geometry import Rect
+from ..index import CellId
 from ..mobility import TraceSample
+from ..protocol.handlers import ServerPolicy
+from ..protocol.messages import (InstallSafeRegion, Request, Response,
+                                 ServerReply)
+from ..protocol.wire import pack_cell_ref, unpack_cell_ref
 from ..saferegion import BitmapSafeRegion, PBSRComputer
+from ..saferegion.cache import fingerprint
 from .base import ClientState, ProcessingStrategy
+
+if TYPE_CHECKING:
+    from ..engine.server import AlarmServer
 
 
 class BitmapComputer(Protocol):
@@ -38,6 +61,71 @@ class BitmapComputer(Protocol):
                 personal_obstacles: Sequence[Rect] = ()
                 ) -> BitmapSafeRegion:
         ...
+
+
+class BitmapPolicy(ServerPolicy):
+    """Server half of GBSR/PBSR: cell bitmaps, with optional sharing."""
+
+    #: ``ServerState.scratch`` key mapping user id -> the cell id whose
+    #: bitmap that user currently holds (needed on the quick-update
+    #: path, where the *installed* cell — not the cell of the reported
+    #: position, which may sit on a shared boundary — must be rebuilt).
+    SCRATCH_KEY = "bitmap.installed_cell"
+
+    def __init__(self, computer: BitmapComputer) -> None:
+        self.computer = computer
+
+    def on_region_exit(self, server: "AlarmServer", request: Request,
+                       time_s: float,
+                       triggered: Sequence[SpatialAlarm]
+                       ) -> Sequence[Response]:
+        cell_id = server.grid.cell_of(request.position)
+        installed = server.state.scratch.setdefault(self.SCRATCH_KEY, {})
+        installed[request.user_id] = cell_id
+        return (self._build(server, request.user_id, time_s, cell_id),)
+
+    def on_location_report(self, server: "AlarmServer", request: Request,
+                           time_s: float,
+                           triggered: Sequence[SpatialAlarm]
+                           ) -> Sequence[Response]:
+        # Unsafe-area report: only a firing changes the bitmap, so only
+        # then is a re-ship worth its bytes (quick-update, Section 4.2).
+        if not triggered:
+            return ()
+        installed = server.state.scratch.get(self.SCRATCH_KEY, {})
+        cell_id = installed.get(request.user_id)
+        if cell_id is None:  # no bitmap installed: nothing to update
+            return ()
+        return (self._build(server, request.user_id, time_s, cell_id),)
+
+    # ------------------------------------------------------------------
+    def _build(self, server: "AlarmServer", user_id: int, time_s: float,
+               cell_id: CellId) -> InstallSafeRegion:
+        """The install message for one cell's bitmap, memo-aware.
+
+        The pending-alarm lookup is timed into the safe-region bucket
+        but does not count a computation (``count=False``): on a cache
+        hit no region is actually computed, and on a miss the counting
+        context around the computation proper increments exactly once —
+        so ``safe_region_computations`` measures real work with or
+        without the cache, while message accounting is untouched.
+        """
+        cell = server.grid.cell_rect(cell_id)
+        with server.timed_saferegion(count=False):
+            pending = server.pending_alarms_in(user_id, cell)
+            public, personal = _split_by_scope(pending)
+        key = fingerprint(cell_id, public, personal)
+        region = server.cached_region(user_id, time_s, key)
+        if region is None:
+            with server.timed_saferegion(user_id, time_s):
+                with server.profiled("saferegion_compute"):
+                    region = self.computer.compute(
+                        cell, [alarm.region for alarm in public],
+                        [alarm.region for alarm in personal])
+            server.store_region(key, region)
+        return InstallSafeRegion(
+            cell_ref=pack_cell_ref(cell_id.col, cell_id.row),
+            bitmap=region.bitmap)
 
 
 class BitmapSafeRegionStrategy(ProcessingStrategy):
@@ -54,6 +142,9 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
         self.computer = computer if computer is not None else PBSRComputer()
         self.name = name
 
+    def server_policy(self) -> BitmapPolicy:
+        return BitmapPolicy(self.computer)
+
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         if (client.cell_rect is not None
                 and client.cell_rect.contains_point(sample.position)):
@@ -63,50 +154,40 @@ class BitmapSafeRegionStrategy(ProcessingStrategy):
             self._charge_probe(ops)
             if inside:
                 return
-            # Unsafe area within the cell: report, but only re-ship the
-            # bitmap when a firing actually changed it.
-            self._uplink_location()
-            fired = self.server.process_location(client.user_id, sample.time,
-                                                 sample.position)
-            if fired:
-                self._ship_region(client, sample, client.cell_rect)
+            # Unsafe area within the cell: plain report; the server
+            # re-ships only when a firing actually changed the bitmap.
+            reply = self._send_report(client, sample)
+            self._install(client, sample, reply)
             return
 
         # Entered a new base cell (or first fix): full recomputation.
         # Leaving the cell ends the residency of the region scoped to it.
         self._note_region_exit(client, sample.time)
-        self._uplink_location()
-        self.server.process_location(client.user_id, sample.time,
-                                     sample.position)
-        cell = self.server.current_cell(sample.position)
-        self._ship_region(client, sample, cell)
+        reply = self._send_report(client, sample, exit=True)
+        self._install(client, sample, reply)
 
     # ------------------------------------------------------------------
-    def _ship_region(self, client: ClientState, sample: TraceSample,
-                     cell: Rect) -> None:
-        server = self.server
-        with server.timed_saferegion(client.user_id, sample.time):
-            pending = server.pending_alarms_in(client.user_id, cell)
-            public, personal = _split_by_scope(pending)
-            with self._profiled("saferegion_compute"):
-                region = self.computer.compute(cell, public, personal)
-        client.safe_region = region
-        client.cell_rect = cell
-        self._mark_region_installed(client, sample.time)
-        with self._profiled("encoding"):
-            payload = server.sizes.bitmap_message(region.size_bits())
-        server.send_downlink(payload, user_id=client.user_id,
-                             time_s=sample.time, kind=DOWNLINK_BITMAP)
+    def _install(self, client: ClientState, sample: TraceSample,
+                 reply: ServerReply) -> None:
+        for message in reply:
+            if isinstance(message, InstallSafeRegion):
+                assert message.cell_ref is not None
+                assert message.bitmap is not None
+                col, row = unpack_cell_ref(message.cell_ref)
+                client.cell_rect = self.session.grid.cell_rect(
+                    CellId(col, row))
+                client.safe_region = BitmapSafeRegion(message.bitmap)
+                self._mark_region_installed(client, sample.time)
 
 
 def _split_by_scope(alarms: List[SpatialAlarm]
-                    ) -> Tuple[List[Rect], List[Rect]]:
-    """Partition pending alarms into (public, private/shared) regions."""
-    public: List[Rect] = []
-    personal: List[Rect] = []
+                    ) -> Tuple[List[SpatialAlarm], List[SpatialAlarm]]:
+    """Partition pending alarms into (public, private/shared) lists."""
+    public: List[SpatialAlarm] = []
+    personal: List[SpatialAlarm] = []
     for alarm in alarms:
         if alarm.scope is AlarmScope.PUBLIC:
-            public.append(alarm.region)
+            public.append(alarm)
         else:
-            personal.append(alarm.region)
+            personal.append(alarm)
     return public, personal

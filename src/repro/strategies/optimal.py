@@ -1,12 +1,16 @@
 """The optimal approach (OPT) — the paper's resource-unconstrained bound.
 
 The server pushes *all* pending relevant alarms of the client's current
-grid cell to the client, which then evaluates its own position against
-the full list on every fix.  The client contacts the server only when it
-crosses into a new grid cell (it needs the new alarm set) or when an
-alarm actually triggers (the server must record and propagate the
-firing) — "transmit updates only when the spatial constraints for one or
-more relevant alarms are met".
+grid cell (an :class:`~repro.protocol.messages.InstallAlarmList`); the
+client then evaluates its own position against the full list on every
+fix.  The client contacts the server only when it crosses into a new
+grid cell (a :class:`RegionExitReport` — it needs the new alarm set) or
+when an alarm actually triggers locally (a plain
+:class:`LocationReport` — the server must record and propagate the
+firing; the reply's in-band :class:`AlarmNotification` messages tell the
+client which alarms to retire from its local list) — "transmit updates
+only when the spatial constraints for one or more relevant alarms are
+met".
 
 OPT transmits the fewest client-to-server messages of all approaches but
 pays for it twice: the downstream push of whole alarm sets dominates
@@ -17,15 +21,46 @@ have very high capacity".
 
 from __future__ import annotations
 
-from ..engine.network import DOWNLINK_ALARM_PUSH
+from typing import TYPE_CHECKING, Sequence
+
 from ..mobility import TraceSample
+from ..protocol.handlers import ServerPolicy
+from ..protocol.messages import (AlarmNotification, AlarmRecord,
+                                 InstallAlarmList, Request, Response,
+                                 ServerReply)
 from .base import ClientState, ProcessingStrategy
+
+if TYPE_CHECKING:
+    from ..alarms import SpatialAlarm
+    from ..engine.server import AlarmServer
+
+
+class OptimalPolicy(ServerPolicy):
+    """Server half of OPT: push the cell's alarm set on every exit."""
+
+    def on_region_exit(self, server: "AlarmServer", request: Request,
+                       time_s: float,
+                       triggered: Sequence["SpatialAlarm"]
+                       ) -> Sequence[Response]:
+        # OPT's "safe-region computation" is pure alarm-list assembly, so
+        # the server's internal index_lookup profiling already covers it.
+        with server.timed_saferegion(request.user_id, time_s):
+            cell = server.current_cell(request.position)
+            pending = server.pending_alarms_in(request.user_id, cell)
+        return (InstallAlarmList(
+            cell=cell,
+            alarms=tuple(AlarmRecord(alarm_id=alarm.alarm_id,
+                                     region=alarm.region)
+                         for alarm in pending)),)
 
 
 class OptimalStrategy(ProcessingStrategy):
     """Full client-side knowledge of the current cell's alarms."""
 
     name = "OPT"
+
+    def server_policy(self) -> OptimalPolicy:
+        return OptimalPolicy()
 
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         if (client.cell_rect is None
@@ -35,19 +70,19 @@ class OptimalStrategy(ProcessingStrategy):
 
         # Local evaluation: one comparison for the cell bound plus one per
         # locally-held alarm region.
-        entered = [alarm for alarm in client.local_alarms
-                   if alarm.region.interior_contains_point(sample.position)]
+        entered = [record for record in client.local_alarms
+                   if record.region.interior_contains_point(sample.position)]
         self._charge_probe(ops=1 + len(client.local_alarms))
         if not entered:
             return
 
-        # A trigger occurred: report it so the server fires the alarms.
-        self._uplink_location()
-        fired = self.server.process_location(client.user_id, sample.time,
-                                             sample.position)
-        fired_ids = {alarm.alarm_id for alarm in fired}
-        client.local_alarms = [alarm for alarm in client.local_alarms
-                               if alarm.alarm_id not in fired_ids]
+        # A trigger occurred: report it so the server fires the alarms;
+        # the in-band notifications name the alarms to retire locally.
+        reply = self._send_report(client, sample)
+        fired_ids = {message.alarm_id for message in reply
+                     if isinstance(message, AlarmNotification)}
+        client.local_alarms = [record for record in client.local_alarms
+                               if record.alarm_id not in fired_ids]
 
     # ------------------------------------------------------------------
     def _refresh_cell(self, client: ClientState,
@@ -55,19 +90,9 @@ class OptimalStrategy(ProcessingStrategy):
         """Cell crossing: report, fetch the new cell's alarm set."""
         # Leaving the previous cell ends its alarm set's residency.
         self._note_region_exit(client, sample.time)
-        self._uplink_location()
-        server = self.server
-        server.process_location(client.user_id, sample.time, sample.position)
-        # OPT's "safe-region computation" is pure alarm-list assembly, so
-        # the server's internal index_lookup profiling already covers it.
-        with server.timed_saferegion(client.user_id, sample.time):
-            cell = server.current_cell(sample.position)
-            client.local_alarms = server.pending_alarms_in(client.user_id,
-                                                           cell)
-        client.cell_rect = cell
-        self._mark_region_installed(client, sample.time)
-        with self._profiled("encoding"):
-            payload = server.sizes.alarm_push_message(
-                len(client.local_alarms))
-        server.send_downlink(payload, user_id=client.user_id,
-                             time_s=sample.time, kind=DOWNLINK_ALARM_PUSH)
+        reply = self._send_report(client, sample, exit=True)
+        for message in reply:
+            if isinstance(message, InstallAlarmList):
+                client.cell_rect = message.cell
+                client.local_alarms = list(message.alarms)
+                self._mark_region_installed(client, sample.time)

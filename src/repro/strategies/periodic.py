@@ -5,6 +5,9 @@ index.  Trivially accurate (the evaluation frequency equals the trace
 frequency, so no alarm can be missed) and trivially non-scalable: the
 paper's full-scale workload produces about 60 million location messages
 per one-hour trace, every one of them processed by the server.
+
+The server half is the shared evaluate-only policy: every reply carries
+at most the in-band alarm notifications, never an install message.
 """
 
 from __future__ import annotations
@@ -19,6 +22,4 @@ class PeriodicStrategy(ProcessingStrategy):
     name = "PRD"
 
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
-        self._uplink_location()
-        self.server.process_location(client.user_id, sample.time,
-                                     sample.position)
+        self._send_report(client, sample)

@@ -1,31 +1,89 @@
 """Distributed processing with rectangular safe regions (MWPSR).
 
 The server computes a maximum (weighted) perimeter rectangular safe
-region for the client's current grid cell; the client monitors its own
-position against the rectangle (one comparison per fix) and contacts the
-server only when it exits.  Because the rectangle's interior excludes
-every pending relevant alarm region, the first sample inside any alarm
-region is necessarily outside the safe region — the client reports at
-exactly that sample, so accuracy is 100% with on-time triggers.
+region for the client's current grid cell and ships it as an
+:class:`~repro.protocol.messages.InstallSafeRegion`; the client monitors
+its own position against the rectangle (one comparison per fix) and
+contacts the server only when it exits — a
+:class:`~repro.protocol.messages.RegionExitReport`, which is what tells
+the server policy to renew rather than merely evaluate.  Because the
+rectangle's interior excludes every pending relevant alarm region, the
+first sample inside any alarm region is necessarily outside the safe
+region — the client reports at exactly that sample, so accuracy is 100%
+with on-time triggers.
 
 Heading for the motion-weighted perimeter can come from either side of
 the protocol (``heading_source``): ``"client"`` ships the device's own
 heading in the location report (GPS chipsets provide it); ``"server"``
-derives it from the two most recent recorded positions — exactly the
+derives it from the two most recent reported positions — exactly the
 ``l_s(t')`` to ``l_s(t)`` construction of the paper's Fig. 1(a) — and
-needs nothing beyond the position fix.
+needs nothing beyond the position fix.  The reported-position history
+is server-side state and lives in the run's
+:class:`~repro.protocol.state.ServerState` scratch space, never on the
+policy object.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
-from ..engine.network import DOWNLINK_RECT
-from ..engine.server import AlarmServer
 from ..geometry import Point
 from ..mobility import TraceSample
-from ..saferegion import MWPSRComputer
+from ..protocol.handlers import ServerPolicy
+from ..protocol.messages import (InstallSafeRegion, Request, Response,
+                                 ServerReply)
+from ..saferegion import MWPSRComputer, RectangularSafeRegion
 from .base import ClientState, ProcessingStrategy
+
+if TYPE_CHECKING:
+    from ..alarms import SpatialAlarm
+    from ..engine.server import AlarmServer
+
+
+class RectangularPolicy(ServerPolicy):
+    """Server half of MWPSR: a fresh rectangle per region-exit report."""
+
+    #: ``ServerState.scratch`` key of the per-user last-reported
+    #: positions (server-side heading estimation).
+    SCRATCH_KEY = "rect.last_reported"
+
+    def __init__(self, computer: MWPSRComputer,
+                 heading_source: str = "client") -> None:
+        self.computer = computer
+        self.heading_source = heading_source
+
+    def on_region_exit(self, server: "AlarmServer", request: Request,
+                       time_s: float,
+                       triggered: Sequence["SpatialAlarm"]
+                       ) -> Sequence[Response]:
+        heading = self._heading_for(server, request)
+        with server.timed_saferegion(request.user_id, time_s):
+            cell = server.current_cell(request.position)
+            pending = server.pending_alarms_in(request.user_id, cell)
+            with server.profiled("saferegion_compute"):
+                result = self.computer.compute(request.position, heading,
+                                               cell,
+                                               [alarm.region
+                                                for alarm in pending])
+        return (InstallSafeRegion(rect=result.rect),)
+
+    def _heading_for(self, server: "AlarmServer",
+                     request: Request) -> float:
+        """Heading per the configured source.
+
+        Server-side estimation uses the previous *reported* position
+        (Fig. 1(a)); the first report of a client, having no history,
+        falls back to the device heading carried in the report.
+        """
+        if self.heading_source == "client":
+            return request.heading
+        last_reported: Dict[int, Point] = server.state.scratch.setdefault(
+            self.SCRATCH_KEY, {})
+        previous = last_reported.get(request.user_id)
+        last_reported[request.user_id] = request.position
+        if previous is None or previous == request.position:
+            return request.heading
+        return previous.heading_to(request.position)
 
 
 class RectangularSafeRegionStrategy(ProcessingStrategy):
@@ -43,11 +101,9 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
         self.computer = computer if computer is not None else MWPSRComputer()
         self.name = name
         self.heading_source = heading_source
-        self._last_reported: Dict[int, Point] = {}
 
-    def attach(self, server: AlarmServer) -> None:
-        super().attach(server)
-        self._last_reported = {}  # per-run server-side state
+    def server_policy(self) -> RectangularPolicy:
+        return RectangularPolicy(self.computer, self.heading_source)
 
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         if client.safe_region is not None:
@@ -57,37 +113,13 @@ class RectangularSafeRegionStrategy(ProcessingStrategy):
                 return
             self._note_region_exit(client, sample.time)
 
-        self._uplink_location()
-        server = self.server
-        server.process_location(client.user_id, sample.time, sample.position)
-        heading = self._heading_for(client.user_id, sample)
-        with server.timed_saferegion(client.user_id, sample.time):
-            cell = server.current_cell(sample.position)
-            pending = server.pending_alarms_in(client.user_id, cell)
-            with self._profiled("saferegion_compute"):
-                result = self.computer.compute(sample.position, heading,
-                                               cell,
-                                               [alarm.region
-                                                for alarm in pending])
-        client.safe_region = result.to_safe_region()
-        client.cell_rect = cell
-        self._mark_region_installed(client, sample.time)
-        with self._profiled("encoding"):
-            payload = server.sizes.rect_message()
-        server.send_downlink(payload, user_id=client.user_id,
-                             time_s=sample.time, kind=DOWNLINK_RECT)
+        reply = self._send_report(client, sample, exit=True)
+        self._install(client, sample, reply)
 
-    def _heading_for(self, user_id: int, sample: TraceSample) -> float:
-        """Heading per the configured source.
-
-        Server-side estimation uses the previous *reported* position
-        (Fig. 1(a)); the first report of a client, having no history,
-        falls back to the device heading.
-        """
-        if self.heading_source == "client":
-            return sample.heading
-        previous = self._last_reported.get(user_id)
-        self._last_reported[user_id] = sample.position
-        if previous is None or previous == sample.position:
-            return sample.heading
-        return previous.heading_to(sample.position)
+    def _install(self, client: ClientState, sample: TraceSample,
+                 reply: ServerReply) -> None:
+        for message in reply:
+            if isinstance(message, InstallSafeRegion):
+                assert message.rect is not None
+                client.safe_region = RectangularSafeRegion(message.rect)
+                self._mark_region_installed(client, sample.time)

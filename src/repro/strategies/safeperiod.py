@@ -1,15 +1,17 @@
 """Safe period-based evaluation (SP) — the server-centric baseline of
 Bamba et al., HiPC 2008 (reference [3] of the paper).
 
-On every location report the server computes a *safe period*: a lower
-bound on the time before the subscriber could possibly enter any pending
-relevant alarm region.  The client stays silent until the period
-expires.  The bound must be pessimistic to guarantee zero misses — the
-distance to the nearest pending alarm region divided by the maximum
-speed any subscriber can attain — which is exactly why SP sends the
-paper's observed 2-3x more messages than the safe-region approaches:
-near alarms the pessimistic period collapses to (almost) zero and the
-client effectively reverts to periodic reporting.
+On every region-exit report (the previous period expired) the server
+computes a *safe period*: a lower bound on the time before the
+subscriber could possibly enter any pending relevant alarm region, and
+ships it as an :class:`~repro.protocol.messages.InstallSafePeriod`.  The
+client stays silent until the period expires.  The bound must be
+pessimistic to guarantee zero misses — the distance to the nearest
+pending alarm region divided by the maximum speed any subscriber can
+attain — which is exactly why SP sends the paper's observed 2-3x more
+messages than the safe-region approaches: near alarms the pessimistic
+period collapses to (almost) zero and the client effectively reverts to
+periodic reporting.
 
 No-miss argument: at report time ``t`` the nearest pending alarm is at
 distance ``d``, so the subscriber cannot be inside any alarm region
@@ -21,10 +23,38 @@ at which a trigger occurs.
 from __future__ import annotations
 
 import math
+from typing import TYPE_CHECKING, Sequence
 
-from ..engine.network import DOWNLINK_SAFE_PERIOD
 from ..mobility import TraceSample
+from ..protocol.handlers import ServerPolicy
+from ..protocol.messages import (InstallSafePeriod, Request, Response,
+                                 ServerReply)
 from .base import ClientState, ProcessingStrategy
+
+if TYPE_CHECKING:
+    from ..alarms import SpatialAlarm
+    from ..engine.server import AlarmServer
+
+
+class SafePeriodPolicy(ServerPolicy):
+    """Server half of SP: answer every exit report with a fresh period."""
+
+    def __init__(self, max_speed: float) -> None:
+        self.max_speed = max_speed
+
+    def on_region_exit(self, server: "AlarmServer", request: Request,
+                       time_s: float,
+                       triggered: Sequence["SpatialAlarm"]
+                       ) -> Sequence[Response]:
+        with server.timed_saferegion(request.user_id, time_s):
+            distance = server.pending_nearest_distance(request.user_id,
+                                                       request.position)
+            with server.profiled("saferegion_compute"):
+                if math.isinf(distance):
+                    expiry = math.inf
+                else:
+                    expiry = time_s + distance / self.max_speed
+        return (InstallSafePeriod(expiry=expiry),)
 
 
 class SafePeriodStrategy(ProcessingStrategy):
@@ -37,6 +67,9 @@ class SafePeriodStrategy(ProcessingStrategy):
             raise ValueError("max_speed must be positive")
         self.max_speed = max_speed
 
+    def server_policy(self) -> SafePeriodPolicy:
+        return SafePeriodPolicy(self.max_speed)
+
     def on_sample(self, client: ClientState, sample: TraceSample) -> None:
         # The client's only work while waiting is a timer comparison.
         self._charge_probe(ops=1)
@@ -44,20 +77,12 @@ class SafePeriodStrategy(ProcessingStrategy):
             return
         self._note_region_exit(client, sample.time)
 
-        self._uplink_location()
-        server = self.server
-        server.process_location(client.user_id, sample.time, sample.position)
-        with server.timed_saferegion(client.user_id, sample.time):
-            distance = server.pending_nearest_distance(client.user_id,
-                                                       sample.position)
-            with self._profiled("saferegion_compute"):
-                if math.isinf(distance):
-                    expiry = math.inf
-                else:
-                    expiry = sample.time + distance / self.max_speed
-        client.expiry = expiry
-        self._mark_region_installed(client, sample.time)
-        with self._profiled("encoding"):
-            payload = server.sizes.safe_period_message()
-        server.send_downlink(payload, user_id=client.user_id,
-                             time_s=sample.time, kind=DOWNLINK_SAFE_PERIOD)
+        reply = self._send_report(client, sample, exit=True)
+        self._install(client, sample, reply)
+
+    def _install(self, client: ClientState, sample: TraceSample,
+                 reply: ServerReply) -> None:
+        for message in reply:
+            if isinstance(message, InstallSafePeriod):
+                client.expiry = message.expiry
+                self._mark_region_installed(client, sample.time)

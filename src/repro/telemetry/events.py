@@ -36,6 +36,7 @@ EVENT_SAFEREGION_COMPUTED = "saferegion_computed"
 EVENT_SAFEREGION_EXIT = "saferegion_exit"
 EVENT_ALARM_FIRED = "alarm_fired"
 EVENT_DOWNLINK_SENT = "downlink_sent"
+EVENT_TRANSPORT_DROP = "transport_drop"
 EVENT_SHARD_STARTED = "shard_started"
 EVENT_SHARD_FINISHED = "shard_finished"
 
@@ -47,6 +48,7 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     EVENT_SAFEREGION_EXIT: frozenset({"user", "residence_s"}),
     EVENT_ALARM_FIRED: frozenset({"user", "alarm"}),
     EVENT_DOWNLINK_SENT: frozenset({"user", "nbytes", "kind"}),
+    EVENT_TRANSPORT_DROP: frozenset({"user", "direction"}),
     EVENT_SHARD_STARTED: frozenset({"vehicles"}),
     EVENT_SHARD_FINISHED: frozenset({"vehicles", "wall_s"}),
 }

@@ -35,6 +35,10 @@ RECONCILE_COUNTERS = (
     ("downlink_bytes", "downlink_bytes"),
     ("alarms_fired", "trigger_notifications"),
     ("saferegion_computations", "safe_region_computations"),
+    ("saferegion_cache_hits", "saferegion_cache_hits"),
+    ("saferegion_cache_misses", "saferegion_cache_misses"),
+    ("uplink_drops", "uplink_drops"),
+    ("downlink_drops", "downlink_drops"),
 )
 
 #: Event-count reconciliation pairs: (event type, Metrics field).

@@ -32,7 +32,8 @@ from typing import Dict, List, Mapping, Optional, Sequence
 from .events import (EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
                      EVENT_LOCATION_REPORT, EVENT_SAFEREGION_COMPUTED,
                      EVENT_SAFEREGION_EXIT, EVENT_SHARD_FINISHED,
-                     EVENT_SHARD_STARTED, RECORD_SUMMARY)
+                     EVENT_SHARD_STARTED, EVENT_TRANSPORT_DROP,
+                     RECORD_SUMMARY)
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
 from .sinks import ListSink, NullSink, TraceSink
@@ -131,6 +132,36 @@ class Telemetry:
         registry.counter("downlink_bytes").inc(nbytes)
         registry.counter("downlink_messages_" + kind).inc()
         registry.histogram("downlink_payload_bits").observe(nbytes * 8)
+
+    def transport_drop(self, time_s: float, user_id: int,
+                       direction: str) -> None:
+        """A simulated lossy transport dropped one delivery attempt.
+
+        ``direction`` is ``"uplink"`` or ``"downlink"``.  The dropped
+        attempt was still charged (its ``location_report`` /
+        ``downlink_sent`` event fired at send time), so the drop
+        counters sit *next to* the traffic counters rather than
+        replacing them — matching the ``Metrics`` drop fields.
+        """
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_TRANSPORT_DROP, time_s, user_id,
+                         direction=direction)
+        self.registry.counter(direction + "_drops").inc()
+
+    def saferegion_cache(self, time_s: float, user_id: int,
+                         hit: bool) -> None:
+        """The shared safe-region memo answered (or missed) one lookup.
+
+        Registry-only, like :meth:`index_fanout`: the hit/miss totals
+        reconcile against the ``Metrics`` cache fields, and per-lookup
+        events would only duplicate the ``saferegion_computed`` stream
+        (every miss is followed by exactly one computation).
+        """
+        if not self.enabled:
+            return
+        self.registry.counter("saferegion_cache_hits" if hit
+                              else "saferegion_cache_misses").inc()
 
     def index_fanout(self, count: int) -> None:
         """One index lookup returned ``count`` pending alarms."""

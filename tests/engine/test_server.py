@@ -6,6 +6,9 @@ from repro.alarms import AlarmRegistry, AlarmScope
 from repro.engine import AlarmServer, MessageSizes, Metrics
 from repro.geometry import Point, Rect
 from repro.index import GridOverlay
+from repro.protocol.handlers import EVALUATE_ONLY
+from repro.protocol.messages import InstallSafePeriod, LocationReport
+from repro.protocol.transport import InProcessTransport
 
 UNIVERSE = Rect(0, 0, 4000, 4000)
 
@@ -69,14 +72,21 @@ class TestHelpers:
         assert math.isinf(server.pending_nearest_distance(2, Point(0, 100)))
 
     def test_message_accounting(self, server):
-        server.receive_location(32)
-        server.receive_location(32)
-        server.send_downlink(48)
+        # Traffic is charged at the transport boundary, sized by the codec.
+        transport = InProcessTransport(server, EVALUATE_ONLY,
+                                       verify_wire=True)
+        transport.request(LocationReport(user_id=2, sequence=0,
+                                         position=Point(3000, 3000),
+                                         heading=0.0, speed=5.0), 0.0)
+        transport.request(LocationReport(user_id=2, sequence=1,
+                                         position=Point(3010, 3000),
+                                         heading=0.0, speed=5.0), 1.0)
+        transport.push(2, InstallSafePeriod(expiry=30.0), 1.0)
         metrics = server.metrics
         assert metrics.uplink_messages == 2
-        assert metrics.uplink_bytes == 64
+        assert metrics.uplink_bytes == 2 * server.sizes.uplink_location
         assert metrics.downlink_messages == 1
-        assert metrics.downlink_bytes == 48
+        assert metrics.downlink_bytes == server.sizes.safe_period_message()
 
     def test_timed_saferegion_bucket(self, server):
         with server.timed_saferegion():

@@ -1,0 +1,15 @@
+"""RL008 good fixture: strategy speaking only the sanctioned surface."""
+
+
+class PoliteStrategy:
+    def on_sample(self, client, sample):
+        self._charge_probe(ops=1)  # own inherited helper: fine
+        reply = self._send_report(client, sample)
+        self.session.send(reply, sample.time)  # public session surface
+        return self.__class__.__name__  # dunders are fine
+
+    def _charge_probe(self, ops):
+        pass
+
+    def _send_report(self, client, sample):
+        return None

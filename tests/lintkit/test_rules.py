@@ -5,7 +5,7 @@ import pytest
 from repro.lintkit import ALL_RULES
 
 RULE_IDS = ["RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
-            "RL007"]
+            "RL007", "RL008"]
 
 #: Expected diagnostic count in each rule's bad fixture (pinned so a
 #: rule silently going blind on one shape fails loudly).
@@ -17,6 +17,7 @@ EXPECTED_BAD_COUNTS = {
     "RL005": 5,
     "RL006": 2,
     "RL007": 3,
+    "RL008": 4,
 }
 
 
@@ -59,6 +60,15 @@ def test_rl001_names_the_variable(lint_fixture):
 def test_rl002_flags_each_shape(lint_fixture):
     lines = sorted(d.line for d in lint_fixture("RL002", "bad.py"))
     assert len(lines) == 3  # literal, annotated pair, name-vs-int
+
+
+def test_rl008_names_attribute_and_receiver(lint_fixture):
+    messages = " ".join(d.message
+                        for d in lint_fixture("RL008", "bad.py"))
+    assert "'metrics'" in messages
+    assert "'_state'" in messages
+    assert "'client.server'" in messages
+    assert "transport boundary" in messages
 
 
 def test_rl005_missing_methods_are_named(lint_fixture):

@@ -1,0 +1,83 @@
+"""Request handlers: the strategy-independent half of every exchange."""
+
+from repro.alarms import AlarmRegistry, AlarmScope
+from repro.engine import AlarmServer, MessageSizes, Metrics
+from repro.geometry import Point, Rect
+from repro.index import GridOverlay
+from repro.protocol.handlers import (EVALUATE_ONLY, ServerPolicy,
+                                     handle_request)
+from repro.protocol.messages import (AlarmNotification, InstallSafePeriod,
+                                     LocationReport, RegionExitReport)
+
+UNIVERSE = Rect(0, 0, 4000, 4000)
+
+
+class RecordingPolicy(ServerPolicy):
+    """Remembers which hook ran and what the handler passed it."""
+
+    def __init__(self):
+        self.calls = []
+
+    def on_location_report(self, server, request, time_s, triggered):
+        self.calls.append(("report", request, tuple(triggered)))
+        return ()
+
+    def on_region_exit(self, server, request, time_s, triggered):
+        self.calls.append(("exit", request, tuple(triggered)))
+        return (InstallSafePeriod(expiry=time_s + 10.0),)
+
+
+def make_server():
+    registry = AlarmRegistry()
+    registry.install(Rect(100, 100, 200, 200), AlarmScope.PUBLIC, 1)
+    grid = GridOverlay(UNIVERSE, cell_area_km2=1.0)
+    return AlarmServer(registry, grid, Metrics(), sizes=MessageSizes())
+
+
+def _request(exit, position=Point(3000, 3000)):
+    cls = RegionExitReport if exit else LocationReport
+    return cls(user_id=2, sequence=0, position=position, heading=0.0,
+               speed=5.0)
+
+
+class TestDispatch:
+    def test_location_report_hook(self):
+        server, policy = make_server(), RecordingPolicy()
+        reply = handle_request(server, policy, _request(exit=False), 0.0)
+        assert reply == ()
+        assert policy.calls[0][0] == "report"
+
+    def test_region_exit_hook_and_response_order(self):
+        server, policy = make_server(), RecordingPolicy()
+        reply = handle_request(server, policy,
+                               _request(exit=True, position=Point(150, 150)),
+                               0.0)
+        assert policy.calls[0][0] == "exit"
+        # Notifications (handler-owned) precede policy installs.
+        assert isinstance(reply[0], AlarmNotification)
+        assert isinstance(reply[-1], InstallSafePeriod)
+
+    def test_triggered_alarms_passed_to_policy(self):
+        server, policy = make_server(), RecordingPolicy()
+        handle_request(server, policy,
+                       _request(exit=False, position=Point(150, 150)), 0.0)
+        (_, _, triggered), = policy.calls
+        assert [alarm.alarm_id for alarm in triggered] == [0]
+
+    def test_one_shot_across_requests(self):
+        server = make_server()
+        first = handle_request(server, EVALUATE_ONLY,
+                               _request(exit=False,
+                                        position=Point(150, 150)), 0.0)
+        second = handle_request(server, EVALUATE_ONLY,
+                                _request(exit=False,
+                                         position=Point(151, 151)), 1.0)
+        assert any(isinstance(m, AlarmNotification) for m in first)
+        assert second == ()
+
+    def test_evaluate_only_never_installs(self):
+        server = make_server()
+        reply = handle_request(server, EVALUATE_ONLY,
+                               _request(exit=True,
+                                        position=Point(150, 150)), 0.0)
+        assert all(isinstance(m, AlarmNotification) for m in reply)

@@ -1,0 +1,157 @@
+"""Wire codec: round-trips, and the sizing property the accounting
+rests on — ``size_of_*`` equals the length of the actual encoding for
+every message the protocol can ship."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index import Pyramid
+from repro.protocol import wire
+from repro.protocol.messages import (AlarmNotification, AlarmRecord,
+                                     InstallAlarmList, InstallSafePeriod,
+                                     InstallSafeRegion, InvalidateState,
+                                     LocationReport, RegionExitReport)
+from repro.protocol.wire import (EXIT_FLAG, MessageType, WireCodec,
+                                 pack_cell_ref, unpack_cell_ref)
+from repro.saferegion import build_pyramid_bitmap
+
+CELL = Rect(0, 0, 1000, 1000)
+
+
+class TestUplinkRoundTrip:
+    def test_location_report(self):
+        report = LocationReport(user_id=9, sequence=41,
+                                position=Point(123.5, 67.25),
+                                heading=1.25, speed=13.5)
+        decoded = wire.decode_location(wire.encode_location(report))
+        assert isinstance(decoded, LocationReport)
+        assert decoded.user_id == 9 and decoded.sequence == 41
+        assert decoded.position == Point(123.5, 67.25)
+
+    def test_exit_report_flag(self):
+        report = RegionExitReport(user_id=9, sequence=41,
+                                  position=Point(1.0, 2.0),
+                                  heading=0.0, speed=0.0)
+        encoded = wire.encode_location(report)
+        assert len(encoded) == wire.UPLINK_LOCATION_SIZE
+        decoded = wire.decode_location(encoded)
+        assert isinstance(decoded, RegionExitReport)
+        assert decoded.sequence == 41  # flag stripped on decode
+
+    def test_sequence_overflow_rejected(self):
+        report = LocationReport(user_id=1, sequence=EXIT_FLAG,
+                                position=Point(0, 0), heading=0.0,
+                                speed=0.0)
+        with pytest.raises(ValueError):
+            wire.encode_location(report)
+
+
+class TestCellRef:
+    def test_round_trip(self):
+        assert unpack_cell_ref(pack_cell_ref(12, 7)) == (12, 7)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            pack_cell_ref(-1, 0)
+        with pytest.raises(ValueError):
+            pack_cell_ref(0, 1 << 32)
+
+
+class TestDownlinkRoundTrip:
+    def test_rect(self):
+        rect = Rect(10.5, 20.25, 30.75, 40.125)
+        assert wire.decode_rect_region(
+            wire.encode_rect_region(rect, sender=3, timestamp=7.0)) == rect
+
+    def test_safe_period(self):
+        assert wire.decode_safe_period(
+            wire.encode_safe_period(123.5)) == 123.5
+
+    def test_invalidate(self):
+        data = wire.encode_invalidate(sender=5, timestamp=1.0)
+        assert len(data) == wire.DOWNLINK_HEADER_SIZE
+        assert isinstance(wire.decode_invalidate(data), InvalidateState)
+
+    def test_alarm_push(self):
+        alarms = [(4, Rect(1, 2, 3, 4)), (9, Rect(5, 6, 7, 8))]
+        cell, decoded = wire.decode_alarm_push(
+            wire.encode_alarm_push(CELL, alarms))
+        assert cell == CELL
+        assert decoded == alarms
+
+    def test_bitmap(self):
+        pyramid = Pyramid(CELL, fan_cols=3, fan_rows=3, height=2)
+        bitmap, _ = build_pyramid_bitmap(
+            pyramid, [Rect(100, 100, 260, 260), Rect(700, 600, 800, 790)])
+        data = wire.encode_bitmap_region(pack_cell_ref(2, 5), bitmap)
+        cell_ref, decoded = wire.decode_bitmap_region(data, pyramid)
+        assert unpack_cell_ref(cell_ref) == (2, 5)
+        # decisions are what travels: every probe must agree
+        for x in range(50, 1000, 75):
+            for y in range(50, 1000, 75):
+                point = Point(float(x), float(y))
+                assert decoded.probe(point)[0] == bitmap.probe(point)[0]
+
+    def test_peek_type(self):
+        assert wire.peek_type(wire.encode_safe_period(1.0)) \
+            is MessageType.SAFE_PERIOD
+
+
+def _random_messages(rng):
+    """A representative random sample of every sized payload kind."""
+    def rect():
+        x, y = rng.uniform(0, 3000), rng.uniform(0, 3000)
+        return Rect(x, y, x + rng.uniform(1, 900), y + rng.uniform(1, 900))
+
+    messages = [InstallSafePeriod(expiry=rng.uniform(0, 1e4)),
+                InvalidateState(),
+                AlarmNotification(rng.randrange(1000)),
+                InstallSafeRegion(rect=rect())]
+    messages.append(InstallAlarmList(
+        cell=rect(),
+        alarms=tuple(AlarmRecord(alarm_id=rng.randrange(10_000),
+                                 region=rect())
+                     for _ in range(rng.randrange(0, 9)))))
+    pyramid = Pyramid(CELL, fan_cols=rng.choice((2, 3)),
+                      fan_rows=rng.choice((2, 3)),
+                      height=rng.randrange(1, 5))
+    bitmap, _ = build_pyramid_bitmap(
+        pyramid, [Rect(100, 100, 200, 200).translated(
+            rng.uniform(0, 700), rng.uniform(0, 700))
+            for _ in range(rng.randrange(0, 4))])
+    messages.append(InstallSafeRegion(cell_ref=pack_cell_ref(1, 1),
+                                      bitmap=bitmap))
+    return messages
+
+
+class TestSizingProperty:
+    """Accounted size == serialized length, for every payload kind."""
+
+    def test_request_size_matches_encoding(self):
+        codec = WireCodec()
+        report = LocationReport(user_id=1, sequence=2,
+                                position=Point(3, 4), heading=0.5,
+                                speed=6.0)
+        assert codec.size_of_request(report) == \
+            len(codec.encode_request(report))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_response_size_matches_encoding(self, seed):
+        codec = WireCodec()
+        rng = random.Random(seed)
+        for message in _random_messages(rng):
+            encoded = codec.encode_response(message, sender=7,
+                                            timestamp=11.0)
+            assert codec.size_of_response(message) == len(encoded), message
+
+    def test_from_sizes_rejects_drifted_accounting(self):
+        from repro.engine.network import MessageSizes
+        with pytest.raises(ValueError):
+            WireCodec.from_sizes(MessageSizes(downlink_header=20))
+
+    def test_from_sizes_alert_payload(self):
+        from repro.engine.network import MessageSizes
+        codec = WireCodec.from_sizes(MessageSizes(alarm_entry=100))
+        assert codec.alert_payload_bytes == 100 - wire.ALARM_FIXED_SIZE

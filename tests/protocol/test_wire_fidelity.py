@@ -1,0 +1,99 @@
+"""Wire-fidelity integration: every byte a full simulation charges is
+the length of the codec's actual encoding of the message it charged for.
+
+``verify_wire=True`` makes the transport encode every request and every
+sized response and raise on any size/encoding disagreement — so simply
+completing a run *is* the property.  All six strategies, serial and
+two-shard; lossy runs must keep the accuracy contract through retries.
+"""
+
+import functools
+
+import pytest
+
+from repro.engine import run_parallel_simulation, run_simulation
+from repro.protocol.transport import InProcessTransport, LossyTransport
+from repro.saferegion import MWPSRComputer, PBSRComputer
+from repro.strategies import (AdaptiveRectangularStrategy,
+                              BitmapSafeRegionStrategy, OptimalStrategy,
+                              PeriodicStrategy,
+                              RectangularSafeRegionStrategy,
+                              SafePeriodStrategy)
+from ..strategies.conftest import make_world
+
+#: Picklable transport factory asserting size == len(encoding) per message.
+VERIFYING = functools.partial(InProcessTransport, verify_wire=True)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_world(vehicles=6, duration=120.0)
+
+
+def _factory(name, max_speed):
+    return {
+        "periodic": PeriodicStrategy,
+        "safeperiod": functools.partial(SafePeriodStrategy,
+                                        max_speed=max_speed),
+        "rectangular": functools.partial(RectangularSafeRegionStrategy,
+                                         MWPSRComputer()),
+        "bitmap": functools.partial(BitmapSafeRegionStrategy,
+                                    PBSRComputer(height=3)),
+        "adaptive": functools.partial(AdaptiveRectangularStrategy,
+                                      max_speed=max_speed),
+        "optimal": OptimalStrategy,
+    }[name]
+
+
+ALL = ("periodic", "safeperiod", "rectangular", "bitmap", "adaptive",
+       "optimal")
+
+
+class TestVerifiedWireSerial:
+    @pytest.mark.parametrize("name", ALL)
+    def test_charged_equals_encoded(self, world, name):
+        strategy = _factory(name, world.max_speed())()
+        result = run_simulation(world, strategy,
+                                transport_factory=VERIFYING)
+        assert result.accuracy.perfect
+
+
+class TestVerifiedWireSharded:
+    @pytest.mark.parametrize("name", ALL)
+    def test_charged_equals_encoded_two_shards(self, world, name):
+        factory = _factory(name, world.max_speed())
+        result = run_parallel_simulation(world, factory, workers=2,
+                                         transport_factory=VERIFYING)
+        assert result.accuracy.perfect
+
+
+class TestLossyContract:
+    """Retries preserve the accuracy contract and surface their cost."""
+
+    @pytest.mark.parametrize("name", ("rectangular", "bitmap", "optimal"))
+    def test_lossy_run_stays_accurate(self, world, name):
+        lossy = functools.partial(LossyTransport, uplink_drop=0.2,
+                                  downlink_drop=0.2, seed=17,
+                                  max_attempts=32)
+        strategy = _factory(name, world.max_speed())()
+        reliable = run_simulation(world,
+                                  _factory(name, world.max_speed())())
+        result = run_simulation(world, strategy, transport_factory=lossy)
+        assert result.accuracy.perfect
+        metrics = result.metrics
+        assert metrics.uplink_drops > 0
+        # Unreliability costs extra attempts, visible in the counters.
+        assert metrics.uplink_messages == \
+            reliable.metrics.uplink_messages + metrics.uplink_drops
+        assert metrics.downlink_messages == \
+            reliable.metrics.downlink_messages + metrics.downlink_drops
+
+    def test_lossy_factory_crosses_process_boundary(self, world):
+        lossy = functools.partial(LossyTransport, uplink_drop=0.1,
+                                  seed=23, max_attempts=32)
+        result = run_parallel_simulation(
+            world, functools.partial(RectangularSafeRegionStrategy,
+                                     MWPSRComputer()),
+            workers=2, transport_factory=lossy)
+        assert result.accuracy.perfect
+        assert result.metrics.uplink_drops > 0

@@ -97,6 +97,8 @@ class TestWireTrueEquivalence:
                                math.pi / 4, 12.7) for k in range(100)]
 
         # in-memory strategy run, recording report fixes
+        from repro.protocol.transport import connect
+
         metrics = Metrics()
         server = AlarmServer(registry, grid, metrics, MessageSizes())
         if use_bitmap:
@@ -105,7 +107,7 @@ class TestWireTrueEquivalence:
         else:
             strategy = RectangularSafeRegionStrategy(
                 MWPSRComputer(SteadyMotionModel(1, 8)))
-        strategy.attach(server)
+        connect(server, strategy)
         client = ClientState(0)
         memory_reports = []
         for sample in samples:

@@ -65,7 +65,9 @@ class TestReconcile:
         result = reconcile(read_trace(path))
         assert result["ok"] is True
         assert all(entry["ok"] for entry in result["checks"])
-        assert len(result["checks"]) == 10
+        # 14 = the 10 original counter checks plus the transport-drop and
+        # safe-region-cache counters added with the protocol layer.
+        assert len(result["checks"]) == 14
 
     def test_dropped_event_breaks_reconciliation(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -22,9 +22,7 @@ class EveryOtherFix(ProcessingStrategy):
     def on_sample(self, client, sample):
         if int(sample.time) % 2 == 1:
             return
-        self._uplink_location()
-        self.server.process_location(client.user_id, sample.time,
-                                     sample.position)
+        self._send_report(client, sample)
 
 
 class _Result:
