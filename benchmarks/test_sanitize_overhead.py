@@ -1,0 +1,75 @@
+"""Sanitizer overhead: disabled checks must cost an attribute check.
+
+Mirrors the telemetry-overhead guard: the engines hold the shared
+:data:`repro.sanitize.DISABLED` singleton and guard every check site
+with one ``sanitizer.enabled`` attribute test, so an unsanitized run
+executes the pre-sanitizer instruction stream plus that test.  The
+ceiling is calibrated against a bare attribute-check call measured in
+the same process, so the guard tracks machine speed instead of
+hard-coding nanoseconds.
+"""
+
+import time
+
+from repro.engine import run_simulation
+from repro.experiments import TINY, build_world
+from repro.experiments.figures import make_mwpsr_strategy
+from repro.sanitize import DISABLED
+
+#: Disabled check may cost at most this many times a bare guard call.
+DISABLED_OVERHEAD_CEILING = 25.0
+
+
+class _Guard:
+    """The minimal shape of the hot-path guard: one attribute test."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self):
+        self.enabled = False
+
+    def check(self):
+        if not self.enabled:
+            return
+
+
+def _median_ns(func, calls=200, rounds=31):
+    samples = []
+    for _ in range(rounds):
+        started = time.perf_counter_ns()
+        for _ in range(calls):
+            func()
+        samples.append((time.perf_counter_ns() - started) / calls)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def test_disabled_clock_check_is_a_noop_benchmark(benchmark):
+    benchmark(lambda: DISABLED.check_clock(1, 1.0))
+
+
+def test_disabled_clock_check_within_guard_ceiling():
+    guard = _Guard()
+    baseline_ns = _median_ns(guard.check)
+    disabled_ns = _median_ns(lambda: DISABLED.check_clock(1, 1.0))
+    assert disabled_ns <= max(baseline_ns, 1.0) * DISABLED_OVERHEAD_CEILING, \
+        "disabled check %.1fns vs bare guard %.1fns" % (disabled_ns,
+                                                        baseline_ns)
+
+
+def test_unsanitized_run_equals_explicitly_disabled_run():
+    world = build_world(TINY)
+    plain = run_simulation(world, make_mwpsr_strategy())
+    disabled = run_simulation(world, make_mwpsr_strategy(),
+                              sanitize=False)
+    assert disabled.metrics.counters() == plain.metrics.counters()
+    assert disabled.metrics.triggers == plain.metrics.triggers
+
+
+def test_sanitized_run_matches_unsanitized_metrics():
+    """The checks observe; they must never change the accounting."""
+    world = build_world(TINY)
+    plain = run_simulation(world, make_mwpsr_strategy())
+    checked = run_simulation(world, make_mwpsr_strategy(),
+                             sanitize=True)
+    assert checked.metrics.counters() == plain.metrics.counters()

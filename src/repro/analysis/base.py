@@ -1,0 +1,84 @@
+"""Checker plumbing: base class and the PA-rule registry.
+
+Mirrors :mod:`repro.lintkit.base` one level up: a *checker* is to the
+project model what a lint *rule* is to a single file.  Checkers have
+stable ``PAnnn`` ids (the shared pragma syntax ``# lint: allow=PA001``
+suppresses them line-by-line like any lint rule), a docstring stating
+the contract they enforce, and a ``check`` method that walks the
+:class:`~repro.analysis.model.ProjectModel` and yields diagnostics.
+
+Registration happens at import time through :func:`checker`;
+``checkers/__init__`` imports every checker module so importing
+:mod:`repro.analysis` populates the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Type
+
+from ..lintkit.diagnostics import Diagnostic
+from .model import ModuleInfo, ProjectModel
+
+
+class Checker:
+    """Base class for one named cross-module contract check."""
+
+    #: Stable identifier, ``PAnnn`` — diagnostics, pragmas and the
+    #: ``--rule`` selector all refer to checkers by this id.
+    checker_id: str = "PA000"
+    #: One-line human title shown in listings.
+    title: str = ""
+
+    #: Optional path of the pragma-debt ledger (PA004 only; threaded
+    #: through from the runner so the CLI can override it).
+    debt_path: Optional[str] = None
+
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        """Yield every violation of this contract in the model."""
+        raise NotImplementedError
+
+    def diagnostic(self, module: ModuleInfo, node: Optional[ast.AST],
+                   message: str) -> Diagnostic:
+        """Build a diagnostic anchored at ``node`` in ``module``."""
+        return Diagnostic(path=module.display_path,
+                          line=getattr(node, "lineno", 1),
+                          col=getattr(node, "col_offset", 0),
+                          rule_id=self.checker_id, message=message)
+
+    def file_diagnostic(self, path: str, message: str) -> Diagnostic:
+        """Build a whole-file diagnostic (no meaningful line anchor)."""
+        return Diagnostic(path=path, line=1, col=0,
+                          rule_id=self.checker_id, message=message)
+
+
+#: Registry of checker classes keyed by id, populated by @checker.
+_REGISTRY: Dict[str, Type[Checker]] = {}
+
+
+def checker(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator registering a checker under its ``checker_id``."""
+    if not cls.checker_id or cls.checker_id == "PA000":
+        raise ValueError("checker %r needs a non-default checker_id"
+                         % (cls,))
+    if cls.checker_id in _REGISTRY:
+        raise ValueError("duplicate checker id %s" % cls.checker_id)
+    _REGISTRY[cls.checker_id] = cls
+    return cls
+
+
+def get_checker(checker_id: str) -> Type[Checker]:
+    """Look up a registered checker class; ``KeyError`` when unknown."""
+    _ensure_checkers_loaded()
+    return _REGISTRY[checker_id]
+
+
+def ALL_CHECKERS() -> List[Type[Checker]]:
+    """All registered checker classes, ordered by checker id."""
+    _ensure_checkers_loaded()
+    return [_REGISTRY[checker_id] for checker_id in sorted(_REGISTRY)]
+
+
+def _ensure_checkers_loaded() -> None:
+    # Importing the subpackage runs every checker module's decorator.
+    from . import checkers  # noqa: F401  (import-for-side-effect)

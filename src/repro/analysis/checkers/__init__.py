@@ -1,0 +1,10 @@
+"""Checker catalogue: importing this package registers every checker.
+
+One module per checker, named after its id.  Adding a checker is:
+write ``paNNN_name.py`` with a :func:`~repro.analysis.base.checker`-
+decorated class, import it here, document it in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from . import (pa001_protocol, pa002_telemetry, pa003_fork,  # noqa: F401
+               pa004_debt)

@@ -1,0 +1,129 @@
+"""PA004: the ``# lint: allow=`` pragma debt ratchets down, never up.
+
+Suppression pragmas are technical debt with a paper trail: the repo
+checks in a ledger (``lint_debt.json``, a ``{"RL002": 3, ...}`` map at
+the repository root) recording how many pragmas each rule is allowed.
+PA004 counts the pragmas actually present — via the tokenizer, so
+pragma *mentions* inside docstrings and string literals do not count —
+and compares:
+
+* a rule with more pragmas than its ledger entry is a finding (adding
+  a suppression without consciously raising the ratchet fails CI);
+* a ledger entry larger than the live count is also a finding — debt
+  that has been paid down must be locked in, or it silently grows back;
+* pragmas with no ledger at all are findings (the ledger is the
+  authorization).
+
+Ledger findings anchor to the ledger file itself, so a pragma can never
+suppress PA004.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterator, Optional
+
+from ...lintkit.diagnostics import Diagnostic
+from ...lintkit.pragmas import PRAGMA_PATTERN
+from ..base import Checker, checker
+from ..model import ProjectModel
+
+#: Ledger file name, searched for in the analysis root then upward.
+LEDGER_NAME = "lint_debt.json"
+#: How many parent directories above the root to search.
+_LEDGER_SEARCH_DEPTH = 4
+
+
+def count_pragmas(model: ProjectModel) -> Dict[str, int]:
+    """Per-rule count of real pragma comments across the model.
+
+    Counted from tokenizer ``COMMENT`` tokens, so the pragma syntax
+    appearing in a docstring (as it does in the linter's own sources)
+    is not debt.  A multi-rule pragma counts once per rule it names.
+    """
+    counts: Dict[str, int] = {}
+    for module in model.iter_modules():
+        reader = io.StringIO(module.source).readline
+        try:
+            tokens = list(tokenize.generate_tokens(reader))
+        except (tokenize.TokenError, IndentationError):
+            continue
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_PATTERN.search(token.string)
+            if match is None:
+                continue
+            for part in match.group(1).split(","):
+                rule_id = part.strip()
+                counts[rule_id] = counts.get(rule_id, 0) + 1
+    return counts
+
+
+def find_ledger(root: Path) -> Optional[Path]:
+    """Locate ``lint_debt.json`` in ``root`` or a nearby ancestor."""
+    directory = root
+    for _ in range(_LEDGER_SEARCH_DEPTH + 1):
+        candidate = directory / LEDGER_NAME
+        if candidate.is_file():
+            return candidate
+        if directory.parent == directory:
+            break
+        directory = directory.parent
+    return None
+
+
+@checker
+class PragmaDebtChecker(Checker):
+    """Pragma counts per rule never exceed the checked-in ledger."""
+
+    checker_id = "PA004"
+    title = "pragma-debt: # lint: allow= count per rule matches the ledger"
+
+    def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        counts = count_pragmas(model)
+        ledger_path = (Path(self.debt_path) if self.debt_path is not None
+                       else find_ledger(model.root))
+        if ledger_path is None or not ledger_path.is_file():
+            if counts:
+                total = sum(counts.values())
+                yield self.file_diagnostic(
+                    str(model.root / LEDGER_NAME),
+                    "%d pragma suppression(s) in the tree but no %s "
+                    "ledger authorizes them" % (total, LEDGER_NAME))
+            return
+        try:
+            raw = json.loads(ledger_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            yield self.file_diagnostic(
+                str(ledger_path),
+                "ledger is unreadable or not valid JSON")
+            return
+        if not (isinstance(raw, dict)
+                and all(isinstance(key, str)
+                        and isinstance(value, int)
+                        and not isinstance(value, bool)
+                        for key, value in raw.items())):
+            yield self.file_diagnostic(
+                str(ledger_path),
+                "ledger must map rule ids to integer pragma budgets")
+            return
+        ledger: Dict[str, int] = dict(raw)
+        for rule_id in sorted(set(counts) | set(ledger)):
+            actual = counts.get(rule_id, 0)
+            budget = ledger.get(rule_id, 0)
+            if actual > budget:
+                yield self.file_diagnostic(
+                    str(ledger_path),
+                    "pragma debt for %s grew to %d (ledger allows %d); "
+                    "remove the suppression or consciously raise the "
+                    "ratchet" % (rule_id, actual, budget))
+            elif actual < budget:
+                yield self.file_diagnostic(
+                    str(ledger_path),
+                    "ledger allows %d %s pragma(s) but only %d remain; "
+                    "ratchet the ledger down to lock in the paydown"
+                    % (budget, rule_id, actual))

@@ -1,0 +1,90 @@
+"""The ``repro analyze`` subcommand.
+
+Exit codes mirror ``repro lint`` (CI keys off them):
+
+* ``0`` — every selected checker passed over the analyzed tree;
+* ``1`` — one or more diagnostics (printed as
+  ``file:line:col: PAxxx message``, or as the JSON/SARIF report);
+* ``2`` — usage or input error (unknown checker id, missing root,
+  syntax error in an analyzed file).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from ..lintkit.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
+from ..lintkit.sarif import to_sarif
+from .base import ALL_CHECKERS, get_checker
+from .model import AnalysisError
+from .runner import run_analysis
+
+
+def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the analyze options to a (sub)parser."""
+    parser.add_argument("root", nargs="?", type=Path, default=None,
+                        help="directory to analyze "
+                             "(default: the repro package tree)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", dest="output_format",
+                        help="report format (default: text)")
+    parser.add_argument("--rule", action="append", default=None,
+                        metavar="ID", dest="rule_ids",
+                        help="run only this checker id (repeatable)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered checkers and exit")
+    parser.add_argument("--debt", type=Path, default=None,
+                        metavar="PATH",
+                        help="pragma-debt ledger for PA004 "
+                             "(default: lint_debt.json found from the "
+                             "root upward)")
+
+
+def run_analyze_command(args: argparse.Namespace) -> int:
+    """Execute the analyze subcommand; returns the process exit code."""
+    if args.list_rules:
+        for cls in ALL_CHECKERS():
+            print("%s  %s" % (cls.checker_id, cls.title))
+        return EXIT_CLEAN
+    checker_classes = None
+    if args.rule_ids:
+        try:
+            checker_classes = [get_checker(rule_id.upper())
+                               for rule_id in args.rule_ids]
+        except KeyError as exc:
+            print("error: unknown checker id %s (try --list-rules)"
+                  % exc)
+            return EXIT_ERROR
+    try:
+        report = run_analysis(root=args.root,
+                              checker_classes=checker_classes,
+                              debt_path=args.debt)
+    except AnalysisError as exc:
+        print("error: %s" % exc)
+        return EXIT_ERROR
+    if args.output_format == "json":
+        print(report.to_json())
+    elif args.output_format == "sarif":
+        print(to_sarif(report, "repro-analyze",
+                       [(cls.checker_id, cls.title)
+                        for cls in ALL_CHECKERS()]))
+    else:
+        print(report.render_text())
+    return EXIT_CLEAN if report.ok else EXIT_FINDINGS
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.cli``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Whole-program contract analyzer for the repro "
+                    "codebase (see docs/STATIC_ANALYSIS.md)")
+    add_analyze_arguments(parser)
+    return run_analyze_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - via `repro analyze`
+    import sys
+    sys.exit(main())

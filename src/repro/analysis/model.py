@@ -1,0 +1,335 @@
+"""The whole-program project model the checkers analyze.
+
+:class:`ProjectModel` parses every ``.py`` file under one root exactly
+once and exposes the cross-module facts single-file lint rules cannot
+see: the module graph (resolved imports), the class/attribute table
+(dataclass field order per class), the function table (one level of the
+call graph), and the string-literal tables (module-level string
+constants, resolvable through imports).  Checkers locate the modules
+they care about by *package-relative path suffix* — e.g.
+``protocol/messages.py`` — so the same checker runs unchanged over the
+shipped tree and over the miniature fixture trees in
+``tests/analysis/fixtures/``.
+
+Resolution is deliberately best-effort: a name that cannot be resolved
+statically (computed imports, ``*`` imports, attribute chains) resolves
+to ``None`` and checkers decide whether that is a finding or a shrug.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..lintkit.pragmas import collect_pragmas
+from ..lintkit.rules.rl004_fork_safety import _module_level_mutables
+
+
+class AnalysisError(Exception):
+    """Unrecoverable analysis failure (unreadable or unparsable input)."""
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: bases and annotated-field order."""
+
+    name: str
+    node: ast.ClassDef
+    #: Terminal names of the base expressions (``ServerPolicy`` for both
+    #: ``ServerPolicy`` and ``handlers.ServerPolicy``).
+    bases: Tuple[str, ...]
+    #: Annotated class-level fields in declaration order — for the
+    #: frozen protocol dataclasses this *is* the dataclass field order.
+    fields: Tuple[str, ...]
+
+
+@dataclass
+class ModuleInfo:
+    """Everything the model knows about one parsed module."""
+
+    display_path: str
+    rel_path: str
+    #: Dotted module name relative to the analysis root (``""`` for the
+    #: root package's ``__init__``).
+    name: str
+    source: str
+    tree: ast.Module
+    #: ``# lint: allow=`` pragmas by line (used for suppression).
+    allowed: Dict[int, FrozenSet[str]]
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level functions by name.
+    functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: Module-level ``NAME = "literal"`` string constants.
+    constants: Dict[str, str] = field(default_factory=dict)
+    #: ``from X import a as b`` edges: local name -> (dotted source
+    #: module, original name).  Plain ``import X`` edges are omitted —
+    #: no checker needs them.
+    imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers (lists, dicts,
+    #: sets and their factory calls) — the state PA003 guards.
+    mutables: FrozenSet[str] = frozenset()
+
+    def union_members(self, alias: str) -> Optional[Tuple[str, ...]]:
+        """Member class names of ``alias = Union[A, B, ...]``, if any.
+
+        A single-name alias (``Request = LocationReport``) resolves to
+        that one name; anything unrecognizable resolves to ``None``.
+        """
+        for stmt in self.tree.body:
+            if not (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)
+                    and stmt.targets[0].id == alias):
+                continue
+            value = stmt.value
+            if (isinstance(value, ast.Subscript)
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id == "Union"
+                    and isinstance(value.slice, ast.Tuple)):
+                names = [elt.id for elt in value.slice.elts
+                         if isinstance(elt, ast.Name)]
+                if len(names) == len(value.slice.elts):
+                    return tuple(names)
+                return None
+            if isinstance(value, ast.Name):
+                return (value.id,)
+            return None
+        return None
+
+
+@dataclass
+class ResolvedStrings:
+    """Outcome of resolving one expression to string values.
+
+    ``full`` holds completely-resolved values; ``prefixes``/``suffixes``
+    hold the literal halves of partially-dynamic concatenations
+    (``"downlink_messages_" + kind`` yields one prefix).  ``unresolved``
+    is set when some branch produced no literal at all.
+    """
+
+    full: List[str] = field(default_factory=list)
+    prefixes: List[str] = field(default_factory=list)
+    suffixes: List[str] = field(default_factory=list)
+    unresolved: bool = False
+
+    @property
+    def empty(self) -> bool:
+        return not (self.full or self.prefixes or self.suffixes)
+
+
+def _terminal_name(node: ast.expr) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _class_info(node: ast.ClassDef) -> ClassInfo:
+    bases = tuple(name for name in (_terminal_name(base)
+                                    for base in node.bases)
+                  if name is not None)
+    fields_: List[str] = []
+    for stmt in node.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)):
+            fields_.append(stmt.target.id)
+    return ClassInfo(name=node.name, node=node, bases=bases,
+                     fields=tuple(fields_))
+
+
+class ProjectModel:
+    """All modules under one root, parsed once, with resolved imports."""
+
+    def __init__(self, root: Path,
+                 modules: Dict[str, ModuleInfo]) -> None:
+        self.root = root
+        #: Modules keyed by root-relative POSIX path.
+        self.modules = modules
+        self._by_name: Dict[str, ModuleInfo] = {
+            info.name: info for info in modules.values()}
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, root: Path) -> "ProjectModel":
+        """Parse every ``.py`` file under ``root`` into a model.
+
+        Raises :class:`AnalysisError` when the root is missing, is not
+        a directory, or any file fails to read or parse — the analyzer
+        refuses to report "clean" over a tree it could not see.
+        """
+        root = Path(root)
+        if not root.is_dir():
+            raise AnalysisError("no such directory: %s" % root)
+        modules: Dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            rel_path = path.relative_to(root).as_posix()
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError("cannot read %s: %s"
+                                    % (path, exc)) from exc
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                raise AnalysisError("cannot parse %s: %s"
+                                    % (path, exc)) from exc
+            modules[rel_path] = cls._module_info(root, path, rel_path,
+                                                 source, tree)
+        return cls(root, modules)
+
+    @classmethod
+    def _module_info(cls, root: Path, path: Path, rel_path: str,
+                     source: str, tree: ast.Module) -> ModuleInfo:
+        parts = rel_path[:-len(".py")].split("/")
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        info = ModuleInfo(display_path=str(path), rel_path=rel_path,
+                          name=".".join(parts), source=source, tree=tree,
+                          allowed=collect_pragmas(source),
+                          mutables=frozenset(
+                              _module_level_mutables(tree)))
+        package = rel_path.split("/")[:-1]
+        for stmt in tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                info.classes[stmt.name] = _class_info(stmt)
+            elif isinstance(stmt, ast.FunctionDef):
+                info.functions[stmt.name] = stmt
+            elif isinstance(stmt, ast.Assign):
+                cls._record_constant(info, stmt)
+            elif isinstance(stmt, ast.ImportFrom):
+                cls._record_import(info, stmt, package, root.name)
+        return info
+
+    @staticmethod
+    def _record_constant(info: ModuleInfo, stmt: ast.Assign) -> None:
+        if (len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)):
+            info.constants[stmt.targets[0].id] = stmt.value.value
+
+    @staticmethod
+    def _record_import(info: ModuleInfo, stmt: ast.ImportFrom,
+                       package: List[str], root_name: str) -> None:
+        if stmt.level > 0:
+            if stmt.level - 1 > len(package):
+                return  # escapes the analysis root
+            base = package[:len(package) - (stmt.level - 1)]
+        else:
+            base = []
+        module = stmt.module or ""
+        # Absolute imports of the root package itself resolve as if
+        # relative to the root (``repro.geometry`` -> ``geometry``).
+        if stmt.level == 0:
+            if module == root_name:
+                module = ""
+            elif module.startswith(root_name + "."):
+                module = module[len(root_name) + 1:]
+        dotted = ".".join(base + (module.split(".") if module else []))
+        for alias in stmt.names:
+            local = alias.asname or alias.name
+            info.imports[local] = (dotted, alias.name)
+
+    # -- lookup --------------------------------------------------------
+    def find(self, suffix: str) -> Optional[ModuleInfo]:
+        """The module whose rel path is ``suffix`` or ends with it."""
+        exact = self.modules.get(suffix)
+        if exact is not None:
+            return exact
+        for rel_path in sorted(self.modules):
+            if rel_path.endswith("/" + suffix):
+                return self.modules[rel_path]
+        return None
+
+    def module_by_name(self, dotted: str) -> Optional[ModuleInfo]:
+        """The module with this root-relative dotted name, if parsed."""
+        return self._by_name.get(dotted)
+
+    def iter_modules(self) -> Iterator[ModuleInfo]:
+        for rel_path in sorted(self.modules):
+            yield self.modules[rel_path]
+
+    def by_display_path(self, display_path: str) -> Optional[ModuleInfo]:
+        for info in self.modules.values():
+            if info.display_path == display_path:
+                return info
+        return None
+
+    # -- cross-module resolution ---------------------------------------
+    def resolve_function(self, module: ModuleInfo, name: str
+                         ) -> Optional[Tuple[ModuleInfo, ast.FunctionDef]]:
+        """Resolve a called name to its defining module and def node."""
+        if name in module.functions:
+            return module, module.functions[name]
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        source_module = self.module_by_name(imported[0])
+        if source_module is None:
+            return None
+        func = source_module.functions.get(imported[1])
+        if func is None:
+            return None
+        return source_module, func
+
+    def resolve_constant(self, module: ModuleInfo,
+                         name: str) -> Optional[str]:
+        """Resolve a name to a module-level string constant's value."""
+        if name in module.constants:
+            return module.constants[name]
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        source_module = self.module_by_name(imported[0])
+        if source_module is None:
+            return None
+        return source_module.constants.get(imported[1])
+
+    def resolve_strings(self, module: ModuleInfo,
+                        node: ast.expr) -> ResolvedStrings:
+        """Resolve an expression to the string values it can take.
+
+        Handles literals, module-level constants (through one import
+        hop), conditional expressions (both branches) and binary
+        concatenation with one dynamic side (recorded as a prefix or a
+        suffix).  Anything else marks the result ``unresolved``.
+        """
+        result = ResolvedStrings()
+        self._resolve_into(module, node, result)
+        return result
+
+    def _resolve_into(self, module: ModuleInfo, node: ast.expr,
+                      result: ResolvedStrings) -> None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            result.full.append(node.value)
+            return
+        if isinstance(node, ast.Name):
+            value = self.resolve_constant(module, node.id)
+            if value is None:
+                result.unresolved = True
+            else:
+                result.full.append(value)
+            return
+        if isinstance(node, ast.IfExp):
+            self._resolve_into(module, node.body, result)
+            self._resolve_into(module, node.orelse, result)
+            return
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            left = self.resolve_strings(module, node.left)
+            right = self.resolve_strings(module, node.right)
+            if left.full and right.full and not left.unresolved \
+                    and not right.unresolved:
+                result.full.extend(lhs + rhs for lhs in left.full
+                                   for rhs in right.full)
+            elif left.full and not left.unresolved:
+                result.prefixes.extend(left.full)
+            elif right.full and not right.unresolved:
+                result.suffixes.extend(right.full)
+            else:
+                result.unresolved = True
+            return
+        result.unresolved = True

@@ -1,0 +1,57 @@
+"""Model construction, checker dispatch and report assembly.
+
+The analysis runner is the whole-program counterpart of
+:mod:`repro.lintkit.runner`: build one :class:`ProjectModel` over the
+analysis root, run every selected checker against it, filter the
+diagnostics through the same line pragmas the linter honors, and
+return the shared :class:`~repro.lintkit.runner.LintReport` — so text,
+JSON and SARIF rendering, counting and exit-code mapping are one
+implementation for both tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Type
+
+from ..lintkit.diagnostics import Diagnostic
+from ..lintkit.pragmas import is_allowed
+from ..lintkit.runner import LintReport
+from .base import ALL_CHECKERS, Checker
+from .model import AnalysisError, ProjectModel
+
+
+def package_root() -> Path:
+    """Directory of the ``repro`` package (the default analysis root)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_analysis(root: Optional[Path] = None,
+                 checker_classes: Optional[Sequence[Type[Checker]]]
+                 = None,
+                 debt_path: Optional[Path] = None) -> LintReport:
+    """Analyze the tree under ``root`` and return the report.
+
+    ``checker_classes`` defaults to every registered checker;
+    ``debt_path`` overrides PA004's upward search for
+    ``lint_debt.json``.  Raises :class:`AnalysisError` on unreadable
+    or unparsable input.
+    """
+    root = Path(root) if root is not None else package_root()
+    model = ProjectModel.build(root)
+    classes = (list(checker_classes) if checker_classes is not None
+               else ALL_CHECKERS())
+    diagnostics: List[Diagnostic] = []
+    for cls in classes:
+        instance = cls()
+        if debt_path is not None:
+            instance.debt_path = str(debt_path)
+        for diag in instance.check(model):
+            module = model.by_display_path(diag.path)
+            if module is not None and is_allowed(
+                    module.allowed, diag.line, diag.rule_id):
+                continue
+            diagnostics.append(diag)
+    return LintReport(diagnostics,
+                      files_checked=len(model.modules),
+                      rule_ids=[cls.checker_id for cls in classes])

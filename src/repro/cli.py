@@ -28,6 +28,7 @@ from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
                           make_pbsr_strategy, profile_report,
                           residence_statistics, safe_region_statistics,
                           workload_profile)
+from .analysis.cli import add_analyze_arguments, run_analyze_command
 from .lintkit.cli import add_lint_arguments, run_lint_command
 from .protocol.transport import (InProcessTransport, LossyTransport,
                                  TransportFactory)
@@ -164,7 +165,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 use_cell_cache=args.cell_cache,
                 use_region_cache=args.region_cache,
                 profile=args.profile, telemetry=telemetry,
-                transport_factory=transport_factory)
+                transport_factory=transport_factory,
+                sanitize=True if args.sanitize else None)
         else:
             strategy = _resolve_strategy(args.strategy, world.max_speed())
             profiler = PhaseProfiler() if args.profile else None
@@ -172,7 +174,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                                     use_cell_cache=args.cell_cache,
                                     use_region_cache=args.region_cache,
                                     profiler=profiler, telemetry=telemetry,
-                                    transport_factory=transport_factory)
+                                    transport_factory=transport_factory,
+                                    sanitize=True if args.sanitize else None)
         if telemetry is not None:
             telemetry.write_summary(result.metrics.counters(),
                                     triggers=len(result.metrics.triggers),
@@ -254,7 +257,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_analyze(args: argparse.Namespace) -> int:
+def _cmd_profile(args: argparse.Namespace) -> int:
     config = _resolve_workload(args)
     world = build_world(config, args.cell)
     print(workload_profile(world))
@@ -349,15 +352,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--verify-wire", action="store_true",
                                  help="encode every message and assert "
                                       "charged bytes == encoded bytes")
+    simulate_parser.add_argument("--sanitize", action="store_true",
+                                 help="enable the runtime invariant "
+                                      "sanitizer (frozen geometry, "
+                                      "monotone clocks, wire fidelity, "
+                                      "merge associativity); also via "
+                                      "REPRO_SANITIZE=1")
     add_workload_options(simulate_parser)
     simulate_parser.set_defaults(handler=_cmd_simulate)
 
-    analyze_parser = subparsers.add_parser(
-        "analyze", help="profile a workload and its safe regions")
-    analyze_parser.add_argument("--samples", type=int, default=60,
+    profile_parser = subparsers.add_parser(
+        "profile", help="profile a workload and its safe regions")
+    profile_parser.add_argument("--samples", type=int, default=60,
                                 help="sample count for distributions")
-    add_workload_options(analyze_parser)
-    analyze_parser.set_defaults(handler=_cmd_analyze)
+    add_workload_options(profile_parser)
+    profile_parser.set_defaults(handler=_cmd_profile)
 
     figure_parser = subparsers.add_parser(
         "figure", help="regenerate a figure of the paper's evaluation")
@@ -370,6 +379,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "(docs/STATIC_ANALYSIS.md)")
     add_lint_arguments(lint_parser)
     lint_parser.set_defaults(handler=run_lint_command)
+
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="run the whole-program contract analyzer "
+                        "(docs/STATIC_ANALYSIS.md)")
+    add_analyze_arguments(analyze_parser)
+    analyze_parser.set_defaults(handler=run_analyze_command)
 
     report_parser = subparsers.add_parser(
         "report", help="render a recorded telemetry trace "

@@ -48,13 +48,15 @@ from ..alarms import AlarmRegistry
 from ..index import GridOverlay
 from ..mobility import TraceSet
 from ..protocol.transport import TransportFactory, connect
+from ..sanitize import Sanitizer
 from ..telemetry.facade import DISABLED, Telemetry
 from .groundtruth import verify_accuracy
 from .metrics import Metrics
 from .network import MessageSizes
 from .profiling import PhaseProfiler, merge_reports
 from .server import AlarmServer
-from .simulation import SimulationResult, World, replay_vehicle_major
+from .simulation import (SimulationResult, World, replay_vehicle_major,
+                         sanitize_transport_factory)
 
 if TYPE_CHECKING:  # runtime import would cycle through strategies.base
     from ..strategies.base import ProcessingStrategy
@@ -133,10 +135,12 @@ def _replay_inherited_shard(index: int) -> _ShardOutcome:
     """Fork-path worker body: replay shard ``index`` of ``_INHERITED``."""
     assert _INHERITED is not None, "inherited state missing in fork child"
     (registry, grid, shards, sizes, strategy_factory, use_cell_cache,
-     profile, trace, transport_factory, use_region_cache) = _INHERITED
+     profile, trace, transport_factory, use_region_cache,
+     sanitize) = _INHERITED
     return _replay_shard(registry, grid, shards[index], sizes,
                          strategy_factory, use_cell_cache, profile,
-                         trace, index, transport_factory, use_region_cache)
+                         trace, index, transport_factory, use_region_cache,
+                         sanitize)
 
 
 def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
@@ -146,15 +150,21 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
                   trace: bool = False,
                   shard_index: int = 0,
                   transport_factory: Optional[TransportFactory] = None,
-                  use_region_cache: bool = False) -> _ShardOutcome:
+                  use_region_cache: bool = False,
+                  sanitize: bool = False) -> _ShardOutcome:
     """Worker body: replay one shard against a private server.
 
     Top-level by design (process pools pickle the callable).  Returns
     the shard's metrics, its profile report (when requested), its replay
     wall time, and — when ``trace`` is set — its buffered telemetry
     events (stamped with ``shard_index``) and serialized registry.
+    Shards hold disjoint vehicles, so a per-shard sanitizer checks the
+    same per-client clock invariant the serial engine would.
     """
     strategy = strategy_factory()
+    sanitizer = Sanitizer.resolve(sanitize)
+    if sanitizer.enabled:
+        transport_factory = sanitize_transport_factory(transport_factory)
     metrics = Metrics()
     profiler = PhaseProfiler() if profile else None
     telemetry = Telemetry.capture(shard=shard_index) if trace else DISABLED
@@ -167,7 +177,7 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
         telemetry.shard_started(len(traces))
     started = time.perf_counter()
     try:
-        replay_vehicle_major(strategy, traces)
+        replay_vehicle_major(strategy, traces, sanitizer)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
@@ -187,7 +197,8 @@ def run_parallel_simulation(world: World,
                             telemetry: Optional[Telemetry] = None,
                             transport_factory: Optional[TransportFactory]
                             = None,
-                            use_region_cache: bool = False
+                            use_region_cache: bool = False,
+                            sanitize: Optional[bool] = None
                             ) -> SimulationResult:
     """Replay the world sharded over ``workers`` processes and merge.
 
@@ -218,6 +229,14 @@ def run_parallel_simulation(world: World,
         raise ValueError("workers must be positive")
     telemetry = telemetry if telemetry is not None else DISABLED
     trace = telemetry.enabled
+    # Resolve once in the parent (workers must not re-read the
+    # environment); the parent's sanitizer holds the geometry snapshot
+    # and runs the cross-shard merge spot-check, each worker carries its
+    # own clock state for its disjoint vehicle set.
+    sanitizer = Sanitizer.resolve(sanitize)
+    sanitize_shards = sanitizer.enabled
+    if sanitizer.enabled:
+        sanitizer.snapshot_geometry(world.registry)
     # The factory must be constructible in the parent too: the result
     # needs the strategy's display name, and failing fast here beats a
     # pickle traceback out of a worker.
@@ -231,7 +250,7 @@ def run_parallel_simulation(world: World,
             outcomes.append(_replay_shard(
                 world.registry, world.grid, shard, world.sizes,
                 strategy_factory, use_cell_cache, profile, trace, 0,
-                transport_factory, use_region_cache))
+                transport_factory, use_region_cache, sanitize_shards))
     elif multiprocessing.get_start_method() == "fork":
         # Fast path: fork children inherit the shard payload through
         # copy-on-write memory, so only a shard *index* crosses the
@@ -241,7 +260,7 @@ def run_parallel_simulation(world: World,
         global _INHERITED
         _INHERITED = (world.registry, world.grid, shards, world.sizes,
                       strategy_factory, use_cell_cache, profile, trace,
-                      transport_factory, use_region_cache)
+                      transport_factory, use_region_cache, sanitize_shards)
         try:
             with ProcessPoolExecutor(max_workers=len(shards),
                                      initializer=_worker_init) as pool:
@@ -256,11 +275,15 @@ def run_parallel_simulation(world: World,
             futures = [pool.submit(_replay_shard, world.registry, world.grid,
                                    shard, world.sizes, strategy_factory,
                                    use_cell_cache, profile, trace, index,
-                                   transport_factory, use_region_cache)
+                                   transport_factory, use_region_cache,
+                                   sanitize_shards)
                        for index, shard in enumerate(shards)]
             outcomes = [future.result() for future in futures]  # shard order
 
     metrics = Metrics.merged([outcome[0] for outcome in outcomes])
+    if sanitizer.enabled:
+        sanitizer.check_merge([outcome[0] for outcome in outcomes], metrics)
+        sanitizer.verify_geometry(world.registry)
     profile_report = (merge_reports([outcome[1] for outcome in outcomes])
                       if profile else None)
     if trace:

@@ -16,6 +16,7 @@ relocation must be observed by all clients in timestamp order.
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
@@ -24,7 +25,10 @@ from ..alarms import AlarmRegistry
 from ..geometry import Rect
 from ..index import GridOverlay
 from ..mobility import TraceSet
-from ..protocol.transport import TransportFactory, connect
+from ..protocol.transport import (InProcessTransport, TransportFactory,
+                                  connect)
+from ..sanitize import DISABLED as SANITIZER_OFF
+from ..sanitize import Sanitizer
 from ..telemetry.facade import DISABLED, Telemetry
 from .energy import EnergyModel
 from .groundtruth import (AccuracyReport, TriggerKey, compute_ground_truth,
@@ -127,8 +131,22 @@ class SimulationResult:
         return self.metrics.uplink_messages / self.total_samples
 
 
+def sanitize_transport_factory(
+        factory: Optional[TransportFactory]) -> TransportFactory:
+    """The transport a sanitized run uses when none was chosen.
+
+    A caller-supplied factory is respected as-is; the default in-process
+    transport is upgraded to its wire-verifying variant, so every
+    message's accounted size is checked against ``len(encode(...))``.
+    """
+    if factory is not None:
+        return factory
+    return functools.partial(InProcessTransport, verify_wire=True)
+
+
 def replay_vehicle_major(strategy: "ProcessingStrategy",
-                         traces: TraceSet) -> None:
+                         traces: TraceSet,
+                         sanitizer: Optional[Sanitizer] = None) -> None:
     """The core replay loop: each vehicle's trace, one client at a time.
 
     Shared by the serial engine and every shard of the parallel engine —
@@ -137,9 +155,12 @@ def replay_vehicle_major(strategy: "ProcessingStrategy",
     """
     from ..strategies.base import ClientState  # local import: avoid cycle
 
+    sanitizer = sanitizer if sanitizer is not None else SANITIZER_OFF
     for trace in traces:
         client = ClientState(trace.vehicle_id)
         for sample in trace:
+            if sanitizer.enabled:
+                sanitizer.check_clock(trace.vehicle_id, sample.time)
             strategy.on_sample(client, sample)
 
 
@@ -148,7 +169,8 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
                    profiler: Optional[PhaseProfiler] = None,
                    telemetry: Optional[Telemetry] = None,
                    transport_factory: Optional[TransportFactory] = None,
-                   use_region_cache: bool = False
+                   use_region_cache: bool = False,
+                   sanitize: Optional[bool] = None
                    ) -> SimulationResult:
     """Replay the world's traces through ``strategy`` and score the run.
 
@@ -166,9 +188,16 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
     the report lands on ``result.profile``.  ``telemetry`` attaches the
     structured telemetry facade (see :mod:`repro.telemetry`); ``None``
     means the shared disabled facade, whose per-site cost is one
-    attribute check.
+    attribute check.  ``sanitize`` attaches the runtime invariant
+    sanitizer (see :mod:`repro.sanitize`); ``None`` consults
+    ``REPRO_SANITIZE``, and a disabled run carries the shared no-op
+    sanitizer at the same one-attribute-check cost.
     """
     telemetry = telemetry if telemetry is not None else DISABLED
+    sanitizer = Sanitizer.resolve(sanitize)
+    if sanitizer.enabled:
+        sanitizer.snapshot_geometry(world.registry)
+        transport_factory = sanitize_transport_factory(transport_factory)
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, use_cell_cache=use_cell_cache,
@@ -179,10 +208,12 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
         telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
     try:
-        replay_vehicle_major(strategy, world.traces)
+        replay_vehicle_major(strategy, world.traces, sanitizer)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
+    if sanitizer.enabled:
+        sanitizer.verify_geometry(world.registry)
     if telemetry.enabled:
         telemetry.shard_finished(len(world.traces), wall_time)
 
@@ -202,7 +233,8 @@ def run_interleaved_simulation(
         world: World, strategy: "ProcessingStrategy",
         on_step: Optional[Callable[[int, float, AlarmServer], None]] = None,
         telemetry: Optional[Telemetry] = None,
-        transport_factory: Optional[TransportFactory] = None
+        transport_factory: Optional[TransportFactory] = None,
+        sanitize: Optional[bool] = None
 ) -> SimulationResult:
     """Time-major replay with an optional per-step world mutation hook.
 
@@ -216,6 +248,13 @@ def run_interleaved_simulation(
     from ..strategies.base import ClientState  # local import: avoid cycle
 
     telemetry = telemetry if telemetry is not None else DISABLED
+    sanitizer = Sanitizer.resolve(sanitize)
+    if sanitizer.enabled:
+        transport_factory = sanitize_transport_factory(transport_factory)
+        if on_step is None:
+            # A mutation hook relocates alarms through the registry API
+            # on purpose; the frozen-geometry check only holds without.
+            sanitizer.snapshot_geometry(world.registry)
     metrics = Metrics()
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, telemetry=telemetry)
@@ -233,10 +272,15 @@ def run_interleaved_simulation(
             on_step(step, step_time, server)
         for trace in world.traces:
             if step < len(trace):
+                if sanitizer.enabled:
+                    sanitizer.check_clock(trace.vehicle_id,
+                                          trace[step].time)
                 strategy.on_sample(clients[trace.vehicle_id], trace[step])
     wall_time = time.perf_counter() - started
     if telemetry.enabled:
         telemetry.shard_finished(len(world.traces), wall_time)
+    if sanitizer.enabled:
+        sanitizer.verify_geometry(world.registry)
 
     accuracy = verify_accuracy(world.ground_truth(), metrics)
     return SimulationResult(strategy_name=strategy.name, metrics=metrics,

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from .base import ALL_RULES, get_rule
 from .runner import LintError, run_lint
+from .sarif import to_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -28,7 +29,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files or directories to lint "
                              "(default: the repro package tree)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", dest="output_format",
                         help="report format (default: text)")
     parser.add_argument("--rule", action="append", default=None,
@@ -60,6 +61,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
         return EXIT_ERROR
     if args.output_format == "json":
         print(report.to_json())
+    elif args.output_format == "sarif":
+        print(to_sarif(report, "repro-lint",
+                       [(cls.rule_id, cls.title) for cls in ALL_RULES()]))
     else:
         print(report.render_text())
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS

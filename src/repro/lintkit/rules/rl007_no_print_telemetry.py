@@ -34,8 +34,10 @@ class NoPrintTelemetryRule(LintRule):
     title = "no-print-telemetry: library code emits events, not stdout"
 
     def applies_to(self, rel_path: str) -> bool:
-        # The CLI owns stdout; lintkit renders its own diagnostics.
-        if rel_path == "cli.py" or rel_path.startswith("lintkit/"):
+        # The CLI owns stdout; lintkit and the whole-program analyzer
+        # render their own diagnostics.
+        if rel_path == "cli.py" or rel_path.startswith("lintkit/") \
+                or rel_path.startswith("analysis/"):
             return False
         return True
 

@@ -76,6 +76,11 @@ def discover_files(paths: Optional[Iterable[Path]] = None) -> List[Path]:
             files.append(root)
         else:
             raise LintError("no such file or directory: %s" % root)
+    if not files:
+        # "0 files checked, 0 problems" on a typo'd path is a silent
+        # false green in CI; an empty file set is an input error.
+        raise LintError("no Python files to lint under: %s"
+                        % ", ".join(str(root) for root in roots))
     return files
 
 

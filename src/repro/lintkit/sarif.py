@@ -1,0 +1,61 @@
+"""SARIF 2.1.0 serialization of lint/analysis reports.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format CI forges understand natively — uploading a SARIF file turns
+diagnostics into inline review annotations.  One serializer is shared
+by ``repro lint`` and ``repro analyze``: both produce the same
+:class:`~repro.lintkit.runner.LintReport`, so a finding's provenance
+(which tool, which rule catalogue) is the only thing that differs.
+
+The output is deliberately minimal — one run, one driver, one result
+per diagnostic with a single physical location — which is the subset
+every SARIF consumer supports.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from .runner import LintReport
+
+#: The SARIF version and schema this serializer emits.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(report: LintReport, tool_name: str,
+             rules: Sequence[Tuple[str, str]]) -> str:
+    """Serialize a report as a SARIF 2.1.0 JSON document.
+
+    ``rules`` lists the tool's full catalogue as ``(id, title)`` pairs
+    — the catalogue, not just the rules that fired, so consumers can
+    render "0 of N rules failing" dashboards.
+    """
+    driver: Dict[str, object] = {
+        "name": tool_name,
+        "rules": [{"id": rule_id,
+                   "shortDescription": {"text": title}}
+                  for rule_id, title in rules],
+    }
+    results: List[Mapping[str, object]] = []
+    for diag in report.diagnostics:
+        results.append({
+            "ruleId": diag.rule_id,
+            "level": "error",
+            "message": {"text": diag.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": diag.path},
+                    "region": {"startLine": diag.line,
+                               "startColumn": diag.col + 1},
+                },
+            }],
+        })
+    payload: Dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -21,9 +21,10 @@ and bit count) followed by the packed bits.
 
 from __future__ import annotations
 
+import dataclasses
 import struct
 from enum import IntEnum
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..geometry import Rect, Point
 from .messages import (AlarmNotification, AlarmRecord, InstallAlarmList,
@@ -60,6 +61,98 @@ DEFAULT_ALARM_ENTRY_SIZE = ALARM_FIXED_SIZE + DEFAULT_ALERT_PAYLOAD_BYTES
 
 #: Top bit of the uplink sequence field: set on region-exit reports.
 EXIT_FLAG = 0x8000_0000
+
+#: Declarative per-message field layout: for every protocol message
+#: class, the wire values it serializes, in wire order, named by the
+#: dataclass field they come from (``position.x`` is the ``x``
+#: component of field ``position``).  Dropping the component suffixes
+#: and deduplicating yields the dataclass's declared field order —
+#: :func:`verify_field_layouts` asserts exactly that, plus, for the
+#: fixed-layout messages, that the value count matches the struct.
+#: The PA001 analyzer checks the same table statically, so a field
+#: added to a dataclass without a layout (or vice versa) fails both
+#: the unit suite and ``repro analyze``.
+FIELD_LAYOUTS: Dict[str, Tuple[str, ...]] = {
+    "LocationReport": ("user_id", "sequence", "position.x",
+                       "position.y", "heading", "speed"),
+    "RegionExitReport": ("user_id", "sequence", "position.x",
+                         "position.y", "heading", "speed"),
+    "InstallSafeRegion": ("rect", "cell_ref", "bitmap"),
+    "InstallSafePeriod": ("expiry",),
+    "AlarmRecord": ("alarm_id", "region.min_x", "region.min_y",
+                    "region.max_x", "region.max_y"),
+    "InstallAlarmList": ("cell", "alarms"),
+    "AlarmNotification": ("alarm_id",),
+    "InvalidateState": (),
+}
+
+#: The fixed struct serializing each fixed-layout message (variable
+#: or multi-representation payloads — bitmaps, alarm lists — have no
+#: single struct and are checked by the wire-fidelity suite instead).
+_LAYOUT_STRUCTS: Dict[str, struct.Struct] = {
+    "LocationReport": _UPLINK,
+    "RegionExitReport": _UPLINK,
+    "InstallSafePeriod": _SAFE_PERIOD,
+    "AlarmRecord": _ALARM_FIXED,
+}
+
+
+def _layout_field_order(layout: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Dataclass field order implied by a layout's dotted names."""
+    order: List[str] = []
+    for name in layout:
+        first = name.split(".", 1)[0]
+        if first not in order:
+            order.append(first)
+    return tuple(order)
+
+
+def verify_field_layouts(
+        layouts: Optional[Dict[str, Tuple[str, ...]]] = None
+) -> List[str]:
+    """Cross-check :data:`FIELD_LAYOUTS` against the message classes.
+
+    Returns a list of human-readable problems (empty when the layouts
+    agree).  Three properties are checked per entry: the named class
+    exists and is a dataclass, the layout's implied field order equals
+    the dataclass's declared order, and — for fixed-layout messages —
+    the layout's value count matches the struct's.  Additionally every
+    ``Request``/``Response`` union member must have an entry.
+
+    ``layouts`` defaults to the module table; tests inject corrupted
+    tables to assert the comparison actually bites.
+    """
+    from typing import get_args
+
+    from . import messages
+
+    table = layouts if layouts is not None else FIELD_LAYOUTS
+    problems: List[str] = []
+    for name, layout in sorted(table.items()):
+        cls = getattr(messages, name, None)
+        if cls is None or not dataclasses.is_dataclass(cls):
+            problems.append("FIELD_LAYOUTS names %s, which is not a "
+                            "message dataclass" % name)
+            continue
+        declared = tuple(f.name for f in dataclasses.fields(cls))
+        implied = _layout_field_order(layout)
+        if implied != declared:
+            problems.append(
+                "%s layout orders fields %s but the dataclass "
+                "declares %s" % (name, list(implied), list(declared)))
+        fixed = _LAYOUT_STRUCTS.get(name)
+        if fixed is not None:
+            count = len(fixed.unpack(bytes(fixed.size)))
+            if count != len(layout):
+                problems.append(
+                    "%s layout lists %d wire values but its struct "
+                    "packs %d" % (name, len(layout), count))
+    for union in (messages.Request, messages.Response):
+        for member in get_args(union):
+            if member.__name__ not in table:
+                problems.append("message class %s has no FIELD_LAYOUTS "
+                                "entry" % member.__name__)
+    return problems
 
 
 class MessageType(IntEnum):
@@ -289,8 +382,16 @@ class WireCodec:
         Only the alarm-entry size is a free parameter (its alert
         payload); every other field of ``sizes`` must equal the struct
         sizes this codec encodes, or the accounting could not match the
-        wire.
+        wire.  Beyond the per-message totals, the per-field layouts
+        themselves are verified (:func:`verify_field_layouts`) — two
+        messages can agree on total bytes while disagreeing on field
+        order, and that drift must not decode silently.
         """
+        problems = verify_field_layouts()
+        if problems:
+            raise ValueError(
+                "wire field layouts disagree with the message "
+                "dataclasses: %s" % "; ".join(problems))
         fixed = {"uplink_location": UPLINK_LOCATION_SIZE,
                  "downlink_header": DOWNLINK_HEADER_SIZE,
                  "rect_payload": RECT_PAYLOAD_SIZE,

@@ -1,0 +1,175 @@
+"""Runtime invariant sanitizer: cheap checks a simulation can carry.
+
+The static analyzers (:mod:`repro.lintkit`, :mod:`repro.analysis`)
+prove what they can see; the sanitizer guards the residue at runtime.
+Enabled via ``repro simulate --sanitize`` or ``REPRO_SANITIZE=1``, it
+installs four invariant checks at simulation start:
+
+* **frozen geometry** — the alarm registry's regions are snapshotted
+  at run start and compared at run end; any mutation (however it
+  dodged RL001) raises;
+* **monotone simulation clock** — each client's samples must carry
+  non-decreasing timestamps (the silence-period contract assumes it);
+* **wire fidelity** — the default transport is replaced by the
+  verifying in-process transport, which encodes every message and
+  asserts ``size_bits == 8 * len(encode(...))``;
+* **merge associativity** — the parallel engine's merged metrics are
+  recomputed under a different fold order and compared, spot-checking
+  the :meth:`~repro.engine.metrics.Metrics.merged` contract.
+
+Off by default and free when off: the engines hold the shared
+:data:`DISABLED` singleton and guard every site with one
+``sanitizer.enabled`` attribute test — the same pattern (and the same
+benchmark ceiling) as the disabled telemetry facade.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # typing only: keeps this module import-light
+    from .alarms import AlarmRegistry
+    from .engine.metrics import Metrics
+    from .protocol.messages import Response
+    from .protocol.wire import WireCodec
+
+#: Environment variable consulted when no explicit flag is passed;
+#: any value other than empty or ``"0"`` enables the sanitizer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+#: One alarm's geometry, flattened for snapshot comparison.
+_GeometryRow = Tuple[int, float, float, float, float]
+
+
+class SanitizerError(AssertionError):
+    """A runtime invariant the sanitizer guards was violated."""
+
+
+class Sanitizer:
+    """Invariant checker attached to one simulation run.
+
+    Construct one per run (clock state is per-run); obtain the
+    appropriate instance with :meth:`resolve`, which returns the
+    zero-overhead :data:`DISABLED` singleton when the flag (or the
+    environment) says off.
+    """
+
+    __slots__ = ("_clocks", "_geometry")
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._clocks: Dict[int, float] = {}
+        self._geometry: Optional[Tuple[_GeometryRow, ...]] = None
+
+    @staticmethod
+    def resolve(flag: Optional[bool] = None) -> "Sanitizer":
+        """The sanitizer a run should carry.
+
+        ``True``/``False`` are explicit; ``None`` consults
+        :data:`SANITIZE_ENV` once.  Disabled runs share
+        :data:`DISABLED` — no allocation, no state.
+        """
+        if flag is None:
+            flag = os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+        return Sanitizer() if flag else DISABLED
+
+    # -- checks --------------------------------------------------------
+    def check_clock(self, user_id: int, time_s: float) -> None:
+        """Assert per-client sample timestamps never go backwards."""
+        last = self._clocks.get(user_id)
+        if last is not None and time_s < last:
+            raise SanitizerError(
+                "simulation clock of client %d went backwards: "
+                "%.6f after %.6f" % (user_id, time_s, last))
+        self._clocks[user_id] = time_s
+
+    def _rows(self, registry: "AlarmRegistry"
+              ) -> Tuple[_GeometryRow, ...]:
+        return tuple(sorted(
+            (alarm.alarm_id, alarm.region.min_x, alarm.region.min_y,
+             alarm.region.max_x, alarm.region.max_y)
+            for alarm in registry.all_alarms()))
+
+    def snapshot_geometry(self, registry: "AlarmRegistry") -> None:
+        """Record the registry's alarm regions at run start."""
+        self._geometry = self._rows(registry)
+
+    def verify_geometry(self, registry: "AlarmRegistry") -> None:
+        """Assert the registry's regions are unchanged since snapshot.
+
+        Legitimate churn (the dynamic/tracking engines) goes through
+        the registry's install/remove/relocate API — those runs do not
+        carry the static-geometry check, so a difference here means an
+        in-place mutation of a frozen geometry value.
+        """
+        if self._geometry is None:
+            return
+        current = self._rows(registry)
+        if current != self._geometry:
+            raise SanitizerError(
+                "alarm geometry changed during the run: %d region(s) "
+                "differ from the start-of-run snapshot"
+                % sum(1 for before, after
+                      in zip(self._geometry, current) if before != after))
+
+    def check_wire(self, codec: "WireCodec",
+                   message: "Response") -> None:
+        """Assert a message's accounted size matches its encoding."""
+        size = codec.size_of_response(message)
+        encoded = codec.encode_response(message)
+        if size != len(encoded):
+            raise SanitizerError(
+                "wire accounting drift: size_of_response says %d bytes "
+                "(%d bits) but encode_response produced %d bytes"
+                % (size, 8 * size, len(encoded)))
+
+    def check_merge(self, parts: Sequence["Metrics"],
+                    merged: "Metrics") -> None:
+        """Spot-check the metrics merge: fold order must not matter."""
+        if len(parts) < 2:
+            return
+        from .engine.metrics import Metrics
+
+        refolded = Metrics.merged(list(reversed(list(parts))))
+        if refolded.counters() != merged.counters():
+            raise SanitizerError(
+                "metrics merge is not associative: reversed fold "
+                "disagrees with shard-order fold")
+        if (sorted((e.time, e.user_id, e.alarm_id)
+                   for e in refolded.triggers)
+                != sorted((e.time, e.user_id, e.alarm_id)
+                          for e in merged.triggers)):
+            raise SanitizerError(
+                "metrics merge lost or duplicated trigger events "
+                "under a reversed fold order")
+
+
+class _DisabledSanitizer(Sanitizer):
+    """Shared no-op sanitizer: one attribute check per guarded site."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def check_clock(self, user_id: int, time_s: float) -> None:
+        return
+
+    def snapshot_geometry(self, registry: "AlarmRegistry") -> None:
+        return
+
+    def verify_geometry(self, registry: "AlarmRegistry") -> None:
+        return
+
+    def check_wire(self, codec: "WireCodec",
+                   message: "Response") -> None:
+        return
+
+    def check_merge(self, parts: Sequence["Metrics"],
+                    merged: "Metrics") -> None:
+        return
+
+
+#: The shared disabled sanitizer (the only instance untraced runs see).
+DISABLED = _DisabledSanitizer()

@@ -49,6 +49,21 @@ RECONCILE_EVENTS = (
     ("saferegion_computed", "safe_region_computations"),
 )
 
+#: Registry-vs-event reconciliation pairs: (registry counter, event
+#: type).  For counters with no ``Metrics`` twin the event stream is
+#: the only independent witness — the counter must equal the number of
+#: events of that type.
+RECONCILE_REGISTRY_EVENTS = (
+    ("saferegion_exits", "saferegion_exit"),
+)
+
+#: Prefix-sum reconciliation pairs: (registry counter prefix, Metrics
+#: field).  Dynamically-named counter families (one counter per
+#: downlink kind) must sum to the aggregate the engine counted.
+RECONCILE_PREFIX_SUMS = (
+    ("downlink_messages_", "downlink_messages"),
+)
+
 
 @dataclass
 class TraceData:
@@ -142,6 +157,19 @@ def reconcile(data: TraceData) -> Dict[str, object]:
     for event_type, metrics_field in RECONCILE_EVENTS:
         check("events.%s == metrics.%s" % (event_type, metrics_field),
               metrics.get(metrics_field, 0), counts.get(event_type, 0))
+    for counter_name, event_type in RECONCILE_REGISTRY_EVENTS:
+        instrument = registry.get(counter_name)
+        value = instrument.value if isinstance(instrument, Counter) else 0
+        check("registry.%s == events.%s" % (counter_name, event_type),
+              counts.get(event_type, 0), value)
+    for prefix, metrics_field in RECONCILE_PREFIX_SUMS:
+        total = sum(instrument.value
+                    for instrument in (registry.get(name)
+                                       for name in registry.names()
+                                       if name.startswith(prefix))
+                    if isinstance(instrument, Counter))
+        check("sum(registry.%s*) == metrics.%s" % (prefix, metrics_field),
+              metrics.get(metrics_field, 0), total)
     return {"ok": all(bool(entry["ok"]) for entry in checks),
             "checks": checks}
 

@@ -1,0 +1,17 @@
+"""Shared helpers for the whole-program analyzer tests."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def fixture_root():
+    """Path of one checker's miniature project tree."""
+    def _root(name):
+        root = FIXTURES / name
+        assert root.is_dir(), "missing fixture tree: %s" % root
+        return root
+    return _root

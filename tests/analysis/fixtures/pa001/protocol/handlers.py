@@ -1,0 +1,9 @@
+"""PA001 fixture handlers: Ping falls through with no trailing else."""
+
+from .messages import Exit
+
+
+def handle_request(state, request):
+    if isinstance(request, Exit):
+        return "exit"
+    return None  # Ping is silently dropped (no else-covered dispatch)

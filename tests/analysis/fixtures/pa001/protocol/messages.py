@@ -1,0 +1,34 @@
+"""PA001 fixture: a miniature typed protocol with seeded drift."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Ping:
+    user_id: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class Exit:
+    user_id: int
+
+
+@dataclass(frozen=True)
+class Grant:
+    span: float
+
+
+@dataclass(frozen=True)
+class Notice:
+    alarm_id: int
+
+
+@dataclass(frozen=True)
+class Stale:
+    reason: str
+
+
+Request = Union[Ping, Exit]
+Response = Union[Grant, Notice]

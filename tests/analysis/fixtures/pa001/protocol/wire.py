@@ -1,0 +1,25 @@
+"""PA001 fixture wire codec: three layout bugs and two arm bugs."""
+
+from .messages import Grant, Notice, Stale
+
+FIELD_LAYOUTS = {
+    "Ping": ("seq", "user_id"),  # wrong order vs the dataclass
+    "Exit": ("user_id",),
+    "Grant": ("span",),
+    "Bogus": ("x",),             # dead entry: no such message class
+    # "Notice" has no entry at all
+}
+
+
+class Codec:
+    def size_of_response(self, message):
+        if isinstance(message, Grant):
+            return 8
+        return 0  # Notice arm missing
+
+    def encode_response(self, message):
+        if isinstance(message, (Grant, Notice)):
+            return b"x"
+        if isinstance(message, Stale):  # dead arm: not in Response
+            return b""
+        return b""

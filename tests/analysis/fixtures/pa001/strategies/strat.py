@@ -1,0 +1,22 @@
+"""PA001 fixture strategy: policy ships Grant, client drops it."""
+
+from ..protocol.messages import Grant, Notice
+
+
+class ServerPolicy:
+    pass
+
+
+class EchoPolicy(ServerPolicy):
+    def reply(self):
+        return Grant(1.0)   # shipped but never consumed client-side
+
+    def notify(self):
+        return Notice(7)
+
+
+class Client:
+    def receive(self, message):
+        if isinstance(message, Notice):
+            return True
+        return False

@@ -1,0 +1,5 @@
+"""PA002 fixture metrics: the one field the tables may reference."""
+
+
+class Metrics:
+    pings: int = 0

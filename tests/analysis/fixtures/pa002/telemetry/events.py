@@ -1,0 +1,9 @@
+"""PA002 fixture vocabulary: one orphan constant, one quiet kind."""
+
+EVENT_PING = "ping"
+EVENT_GHOST = "ghost"  # constant with no EVENT_FIELDS entry
+
+EVENT_FIELDS = {
+    EVENT_PING: ("user",),
+    "quiet": ("user",),
+}

@@ -1,0 +1,10 @@
+"""PA002 fixture reconciliation tables with seeded drift."""
+
+RECONCILE_COUNTERS = (
+    ("tracked", "pings"),
+    ("phantom", "pings"),  # nothing increments this counter
+)
+
+RECONCILE_EVENTS = (
+    ("ghost_kind", "pings"),  # event kind is not declared
+)

@@ -1,0 +1,11 @@
+"""PA003 fixture dispatcher: hands the worker to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+from .worker import work
+
+
+def run():
+    with ProcessPoolExecutor() as pool:
+        future = pool.submit(work, 1)
+    return future.result()

@@ -1,0 +1,3 @@
+"""PA003 fixture: the parent-scope state a worker must not touch."""
+
+CACHE = []

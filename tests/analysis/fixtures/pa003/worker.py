@@ -1,0 +1,17 @@
+"""PA003 fixture worker: three parent-state writes, one per shape."""
+
+from .state import CACHE
+
+TABLE = {}
+
+
+def helper(value):
+    TABLE[value] = True  # subscript write on this module's global
+
+
+def work(index):
+    global SEED
+    CACHE.append(index)  # mutator call on an imported module global
+    helper(index)
+    SEED = index
+    return index

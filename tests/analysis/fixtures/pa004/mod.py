@@ -1,0 +1,7 @@
+"""PA004 fixture: one live RL002 pragma.
+
+The pragma mention in this docstring must not count as debt:
+# lint: allow=RL002
+"""
+
+AREA = 3.0 * 2.0  # lint: allow=RL002

@@ -1,0 +1,83 @@
+"""CLI contract of ``repro analyze``: formats, selection, exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import FIXTURES
+
+FIXTURE = str(FIXTURES / "pa001")
+
+
+class TestExitCodes:
+    def test_shipped_tree_exits_clean(self, capsys):
+        assert main(["analyze"]) == 0
+        assert "0 problem(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("checker_id",
+                             ["PA001", "PA002", "PA003", "PA004"])
+    def test_fixture_exits_with_findings(self, checker_id, capsys):
+        root = str(FIXTURES / checker_id.lower())
+        assert main(["analyze", root, "--rule", checker_id]) == 1
+        assert checker_id in capsys.readouterr().out
+
+    def test_missing_root_exits_two(self, capsys):
+        assert main(["analyze", "/no/such/tree"]) == 2
+        assert "error:" in capsys.readouterr().out
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["analyze", "--rule", "PA999"]) == 2
+        assert "unknown checker id" in capsys.readouterr().out
+
+    def test_lowercase_rule_id_accepted(self):
+        assert main(["analyze", FIXTURE, "--rule", "pa001"]) == 1
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        (tmp_path / "broken.py").write_text("def (\n", encoding="utf-8")
+        assert main(["analyze", str(tmp_path)]) == 2
+        assert "cannot parse" in capsys.readouterr().out
+
+
+class TestListRules:
+    def test_lists_all_checkers(self, capsys):
+        assert main(["analyze", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for checker_id in ("PA001", "PA002", "PA003", "PA004"):
+            assert checker_id in out
+
+
+class TestFormats:
+    def test_json_report(self, capsys):
+        assert main(["analyze", FIXTURE, "--rule", "PA001",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["PA001"] == 7
+        assert all(diag["rule"] == "PA001"
+                   for diag in payload["diagnostics"])
+
+    def test_sarif_report(self, capsys):
+        assert main(["analyze", FIXTURE, "--rule", "PA001",
+                     "--format", "sarif"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analyze"
+        # The full catalogue is listed, not just the fired rules.
+        rule_ids = [rule["id"]
+                    for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["PA001", "PA002", "PA003", "PA004"]
+        assert len(run["results"]) == 7
+        first = run["results"][0]
+        assert first["ruleId"] == "PA001"
+        assert first["level"] == "error"
+        location = first["locations"][0]["physicalLocation"]
+        assert location["region"]["startLine"] > 0
+
+    def test_sarif_clean_tree_has_no_results(self, tmp_path, capsys):
+        (tmp_path / "empty.py").write_text("X = 1\n", encoding="utf-8")
+        assert main(["analyze", str(tmp_path), "--rule", "PA001",
+                     "--format", "sarif"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["runs"][0]["results"] == []

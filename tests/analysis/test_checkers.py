@@ -1,0 +1,165 @@
+"""Per-checker fixture tests: every PA rule fires on its seeded tree.
+
+Mirrors ``tests/lintkit/test_rules.py``: each checker has a miniature
+project under ``fixtures/<id>/`` seeding every violation shape the
+checker knows, and the expected diagnostic count is pinned so a checker
+silently going blind on one shape fails loudly.  The shipped tree
+itself must stay clean — the analyzer gates CI.
+"""
+
+import pytest
+
+from repro.analysis import (ALL_CHECKERS, ProjectModel, get_checker,
+                            run_analysis)
+from repro.analysis.checkers.pa004_debt import count_pragmas, find_ledger
+
+CHECKER_IDS = ["PA001", "PA002", "PA003", "PA004"]
+
+#: Expected diagnostic count per fixture tree (one per seeded shape).
+EXPECTED_FIXTURE_COUNTS = {
+    "PA001": 7,
+    "PA002": 6,
+    "PA003": 3,
+    "PA004": 2,
+}
+
+
+def _run(root, checker_id):
+    report = run_analysis(root=root,
+                          checker_classes=[get_checker(checker_id)])
+    return report.diagnostics
+
+
+def test_registry_is_complete():
+    assert [cls.checker_id for cls in ALL_CHECKERS()] == CHECKER_IDS
+
+
+@pytest.mark.parametrize("checker_id", CHECKER_IDS)
+def test_fixture_tree_is_flagged(fixture_root, checker_id):
+    diagnostics = _run(fixture_root(checker_id.lower()), checker_id)
+    assert len(diagnostics) == EXPECTED_FIXTURE_COUNTS[checker_id]
+    assert all(diag.rule_id == checker_id for diag in diagnostics)
+    for diag in diagnostics:
+        assert diag.line > 0
+        assert diag.col >= 0
+        assert diag.message
+
+
+def test_shipped_tree_is_clean():
+    """The analyzer's own gate: ``repro analyze src/repro`` exits 0."""
+    report = run_analysis()
+    assert report.ok, "\n" + report.render_text()
+
+
+class TestPA001:
+    def test_names_every_drift_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa001"), "PA001")]
+        joined = "\n".join(messages)
+        assert "orders fields" in joined           # layout order
+        assert "no FIELD_LAYOUTS entry" in joined  # missing layout
+        assert "dead layout entry" in joined       # unknown class
+        assert "no isinstance arm" in joined       # codec dispatch
+        assert "dead arm" in joined                # non-union dispatch
+        assert "does not dispatch request" in joined
+        assert "never isinstance-checks" in joined  # unconsumed install
+
+
+class TestPA002:
+    def test_names_every_drift_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa002"), "PA002")]
+        joined = "\n".join(messages)
+        assert "'mystery' is not declared" in joined
+        assert "not a declared event constant" in joined
+        assert "EVENT_GHOST" in joined
+        assert "'orphan' is incremented but no" in joined
+        assert "'phantom' but nothing increments" in joined
+        assert "undeclared event kind 'ghost_kind'" in joined
+
+
+class TestPA003:
+    def test_names_every_write_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa003"), "PA003")]
+        joined = "\n".join(messages)
+        assert "mutates module-level container 'CACHE' of state.py" \
+            in joined                          # cross-module mutator
+        assert "writes module-level container 'TABLE'" in joined
+        assert "rebinds module global 'SEED'" in joined
+
+    def test_findings_anchor_to_the_worker_module(self, fixture_root):
+        diagnostics = _run(fixture_root("pa003"), "PA003")
+        assert all(diag.path.endswith("worker.py")
+                   for diag in diagnostics)
+
+
+class TestPA004:
+    def test_grew_and_stale_entries_both_flagged(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa004"), "PA004")]
+        joined = "\n".join(messages)
+        assert "pragma debt for RL002 grew to 1 (ledger allows 0)" \
+            in joined
+        assert "ledger allows 2 RL008 pragma(s) but only 0 remain" \
+            in joined
+
+    def test_findings_anchor_to_the_ledger(self, fixture_root):
+        diagnostics = _run(fixture_root("pa004"), "PA004")
+        assert all(diag.path.endswith("lint_debt.json")
+                   for diag in diagnostics)
+
+    def test_docstring_mention_is_not_debt(self, fixture_root):
+        """The fixture docstring contains the pragma syntax; only the
+        real comment counts."""
+        model = ProjectModel.build(fixture_root("pa004"))
+        assert count_pragmas(model) == {"RL002": 1}
+
+    def test_matching_ledger_is_clean(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "X = 1  # lint: allow=RL002\n", encoding="utf-8")
+        (tmp_path / "lint_debt.json").write_text(
+            '{"RL002": 1}\n', encoding="utf-8")
+        assert _run(tmp_path, "PA004") == []
+
+    def test_pragmas_without_ledger_are_flagged(self, tmp_path):
+        (tmp_path / "mod.py").write_text(
+            "X = 1  # lint: allow=RL002\n", encoding="utf-8")
+        diagnostics = _run(tmp_path, "PA004")
+        # tmp_path has no ledger anywhere within the search depth.
+        assert find_ledger(tmp_path) is None
+        assert len(diagnostics) == 1
+        assert "no lint_debt.json ledger authorizes" \
+            in diagnostics[0].message
+
+    def test_invalid_ledger_is_flagged(self, tmp_path):
+        (tmp_path / "mod.py").write_text("X = 1\n", encoding="utf-8")
+        (tmp_path / "lint_debt.json").write_text(
+            '{"RL002": "three"}\n', encoding="utf-8")
+        diagnostics = _run(tmp_path, "PA004")
+        assert len(diagnostics) == 1
+        assert "integer pragma budgets" in diagnostics[0].message
+
+    def test_debt_path_override(self, tmp_path, fixture_root):
+        """--debt points PA004 at an explicit ledger file."""
+        ledger = tmp_path / "other_ledger.json"
+        ledger.write_text('{"RL002": 1}\n', encoding="utf-8")
+        report = run_analysis(root=fixture_root("pa004"),
+                              checker_classes=[get_checker("PA004")],
+                              debt_path=ledger)
+        assert report.ok
+
+
+class TestSuppression:
+    def test_pa_pragma_suppresses_a_finding(self, tmp_path):
+        """``# lint: allow=PA002`` on the offending line is honored."""
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        (telemetry / "events.py").write_text(
+            'EVENT_FIELDS = {"ping": ("user",)}\n', encoding="utf-8")
+        (telemetry / "facade.py").write_text(
+            "def run(sink):\n"
+            '    sink.emit("ping")\n'
+            '    sink.emit("mystery")  # lint: allow=PA002\n',
+            encoding="utf-8")
+        assert _run(tmp_path, "PA002") == []

@@ -99,3 +99,30 @@ def test_scoped_rules_skip_out_of_scope_files(tmp_path, rule_id,
                       root=tmp_path)
     flagged_paths = {diag.path for diag in report.diagnostics}
     assert flagged_paths == {str(in_scope / "mod.py")}
+
+
+def test_empty_directory_exits_two(tmp_path, capsys):
+    """0 files checked must be an input error, not a silent green."""
+    code = main([str(tmp_path)])
+    assert code == EXIT_ERROR
+    assert "no Python files to lint" in capsys.readouterr().out
+
+
+def test_sarif_format(capsys):
+    code = main([str(FIXTURES / "rl001" / "bad.py"), "--rule", "RL001",
+                 "--format", "sarif"])
+    assert code == EXIT_FINDINGS
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    # The catalogue lists every registered rule, not just fired ones.
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert "RL001" in rule_ids and "RL008" in rule_ids
+    assert run["results"]
+    for result in run["results"]:
+        assert result["ruleId"] == "RL001"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] > 0
+        assert region["startColumn"] > 0

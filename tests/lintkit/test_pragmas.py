@@ -53,3 +53,36 @@ def test_pragma_only_covers_its_own_line(tmp_path: Path):
     report = run_lint(paths=[target], rule_classes=[get_rule("RL002")],
                       respect_scopes=False)
     assert [diag.line for diag in report.diagnostics] == [3]
+
+
+def test_multi_rule_pragma_suppresses_both(tmp_path: Path):
+    """One line can violate two rules; one pragma may excuse both."""
+    source = ("class SneakyStrategy:\n"
+              "    def on_sample(self, client, sample):\n"
+              "        return client.server.metrics.energy == 0.0%s\n")
+    rule_classes = [get_rule("RL002"), get_rule("RL008")]
+
+    bare = tmp_path / "bare.py"
+    bare.write_text(source % "")
+    report = run_lint(paths=[bare], rule_classes=rule_classes,
+                      respect_scopes=False)
+    assert sorted(d.rule_id for d in report.diagnostics) == \
+        ["RL002", "RL008"]
+
+    excused = tmp_path / "excused.py"
+    excused.write_text(source % "  # lint: allow=RL002,RL008")
+    assert run_lint(paths=[excused], rule_classes=rule_classes,
+                    respect_scopes=False).ok
+
+
+def test_multi_rule_pragma_only_covers_named_rules(tmp_path: Path):
+    partial = tmp_path / "partial.py"
+    partial.write_text(
+        "class SneakyStrategy:\n"
+        "    def on_sample(self, client, sample):\n"
+        "        return client.server.metrics.energy == 0.0"
+        "  # lint: allow=RL002\n")
+    report = run_lint(paths=[partial],
+                      rule_classes=[get_rule("RL002"), get_rule("RL008")],
+                      respect_scopes=False)
+    assert [d.rule_id for d in report.diagnostics] == ["RL008"]

@@ -1,0 +1,85 @@
+"""Per-field layout agreement between messages.py and wire.py.
+
+``FIELD_LAYOUTS`` pins the field names and order of every message the
+codec packs; :func:`verify_field_layouts` cross-checks the table
+against the dataclasses and the structs, and ``WireCodec.from_sizes``
+runs it at construction — two messages can agree on *total* bytes
+while disagreeing on field order, which the per-size checks alone
+would miss.
+"""
+
+import dataclasses
+import typing
+
+import pytest
+
+from repro.engine.network import MessageSizes
+from repro.protocol import messages
+from repro.protocol.wire import (FIELD_LAYOUTS, WireCodec,
+                                 verify_field_layouts)
+
+
+class TestShippedLayouts:
+    def test_shipped_table_is_consistent(self):
+        assert verify_field_layouts() == []
+
+    def test_every_union_member_has_an_entry(self):
+        members = (typing.get_args(messages.Request)
+                   + typing.get_args(messages.Response))
+        for cls in members:
+            assert cls.__name__ in FIELD_LAYOUTS
+
+    def test_layouts_pin_dataclass_field_names_and_order(self):
+        """The regression this table exists for: renaming or reordering
+        a message field without touching wire.py must fail."""
+        for name, layout in FIELD_LAYOUTS.items():
+            cls = getattr(messages, name)
+            declared = [f.name for f in dataclasses.fields(cls)]
+            implied = []
+            for wire_name in layout:
+                first = wire_name.split(".", 1)[0]
+                if first not in implied:
+                    implied.append(first)
+            assert implied == declared, name
+
+    def test_from_sizes_accepts_the_shipped_table(self):
+        assert WireCodec.from_sizes(MessageSizes()) is not None
+
+
+class TestCorruptedLayouts:
+    def test_reordered_fields_are_reported(self):
+        corrupted = dict(FIELD_LAYOUTS)
+        corrupted["LocationReport"] = ("sequence", "user_id",
+                                       "position.x", "position.y",
+                                       "heading", "speed")
+        problems = verify_field_layouts(corrupted)
+        assert any("LocationReport" in p and "orders fields" in p
+                   for p in problems)
+
+    def test_missing_member_is_reported(self):
+        corrupted = dict(FIELD_LAYOUTS)
+        del corrupted["AlarmNotification"]
+        problems = verify_field_layouts(corrupted)
+        assert any("AlarmNotification has no FIELD_LAYOUTS entry" in p
+                   for p in problems)
+
+    def test_unknown_class_is_reported(self):
+        corrupted = dict(FIELD_LAYOUTS)
+        corrupted["Bogus"] = ("x",)
+        problems = verify_field_layouts(corrupted)
+        assert any("Bogus" in p and "not a message dataclass" in p
+                   for p in problems)
+
+    def test_struct_value_count_mismatch_is_reported(self):
+        corrupted = dict(FIELD_LAYOUTS)
+        corrupted["InstallSafePeriod"] = ("expiry", "slack")
+        problems = verify_field_layouts(corrupted)
+        assert any("InstallSafePeriod" in p and "struct" in p
+                   for p in problems)
+
+    def test_from_sizes_rejects_a_corrupted_module_table(self, monkeypatch):
+        monkeypatch.setitem(FIELD_LAYOUTS, "LocationReport",
+                            ("sequence", "user_id", "position.x",
+                             "position.y", "heading", "speed"))
+        with pytest.raises(ValueError, match="LocationReport"):
+            WireCodec.from_sizes(MessageSizes())

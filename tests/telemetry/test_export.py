@@ -65,9 +65,11 @@ class TestReconcile:
         result = reconcile(read_trace(path))
         assert result["ok"] is True
         assert all(entry["ok"] for entry in result["checks"])
-        # 14 = the 10 original counter checks plus the transport-drop and
-        # safe-region-cache counters added with the protocol layer.
-        assert len(result["checks"]) == 14
+        # 16 = the 10 original counter checks, the transport-drop and
+        # safe-region-cache counters added with the protocol layer, the
+        # registry-vs-event exit check and the per-kind downlink
+        # prefix-sum check added with the contract analyzer.
+        assert len(result["checks"]) == 16
 
     def test_dropped_event_breaks_reconciliation(self, tmp_path):
         path = tmp_path / "t.jsonl"

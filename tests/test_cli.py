@@ -77,9 +77,9 @@ class TestParser:
             main([])
 
 
-class TestAnalyze:
-    def test_analyze_runs(self, capsys):
-        assert main(["analyze", "--workload", "tiny", "--samples", "10"]) == 0
+class TestProfile:
+    def test_profile_runs(self, capsys):
+        assert main(["profile", "--workload", "tiny", "--samples", "10"]) == 0
         out = capsys.readouterr().out
         assert "Workload profile" in out
         assert "safe-region area" in out
