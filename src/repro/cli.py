@@ -15,12 +15,20 @@ strategy over a workload preset and prints the headline metrics.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import functools
+import json
 import sys
+import time
 from dataclasses import asdict
 from typing import Callable, Dict, List, Optional
 
 from .engine import PhaseProfiler, run_parallel_simulation, run_simulation
+from .engine.metrics import Metrics
+from .engine.server import AlarmServer
+from .net import AlarmDaemon, run_bench
+from .protocol.wire import WireCodec
+from .sanitize import Sanitizer
 from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
                           build_world, coverage_size_tradeoff, figure1b,
                           figure4a, figure4b, figure5a, figure5b, figure6a,
@@ -222,6 +230,89 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0 if result.accuracy.perfect else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a workload's alarm server over a real socket.
+
+    Runs until a client sends a SHUTDOWN frame (``repro bench-net
+    --shutdown``) or the process receives SIGINT.  With ``--trace`` the
+    daemon records the same JSONL telemetry a simulation records —
+    ``repro report`` reconciles it and renders the net_* counters and
+    latency histograms.
+    """
+    config = _resolve_workload(args)
+    world = build_world(config, args.cell)
+    strategy = _resolve_strategy(args.strategy, world.max_speed())
+    telemetry: Optional[Telemetry] = None
+    if args.trace:
+        manifest = RunManifest.collect(
+            strategy=args.strategy, config=asdict(config), workers=1,
+            sizes=world.sizes.to_dict(), energy=world.energy.to_dict(),
+            cell_area_km2=args.cell)
+        telemetry = Telemetry.capture(sink=JsonlSink(args.trace),
+                                      manifest=manifest)
+        telemetry.write_manifest()
+    sanitizer = Sanitizer.resolve(True if args.sanitize else None)
+    if sanitizer.enabled:
+        sanitizer.snapshot_geometry(world.registry)
+    metrics = Metrics()
+    server = AlarmServer(world.registry, world.grid, metrics,
+                         sizes=world.sizes,
+                         use_cell_cache=args.cell_cache,
+                         use_region_cache=args.region_cache,
+                         telemetry=telemetry)
+    daemon = AlarmDaemon(server, strategy.server_policy(),
+                         WireCodec.from_sizes(world.sizes),
+                         verify_wire=args.verify_wire or sanitizer.enabled,
+                         batch_max=args.batch, queue_limit=args.queue,
+                         sanitizer=sanitizer)
+
+    async def _serve() -> None:
+        if args.uds:
+            await daemon.start_unix(args.uds)
+            print("serving on %s" % args.uds, flush=True)
+        else:
+            port = await daemon.start_tcp(args.host, args.port)
+            print("serving on %s:%d" % (args.host, port), flush=True)
+        await daemon.serve_until_stopped()
+
+    started = time.perf_counter()
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        wall_time = time.perf_counter() - started
+        server.close()
+        if telemetry is not None:
+            telemetry.write_summary(metrics.counters(),
+                                    triggers=len(metrics.triggers),
+                                    wall_time_s=wall_time, workers=1)
+            telemetry.close()
+    if sanitizer.enabled:
+        sanitizer.verify_geometry(world.registry)
+    print("served %d uplink messages (%d bytes up, %d down) in %.2f s"
+          % (metrics.uplink_messages, metrics.uplink_bytes,
+             metrics.downlink_bytes, wall_time))
+    if args.trace:
+        print("trace: %s" % args.trace)
+    return 0
+
+
+def _cmd_bench_net(args: argparse.Namespace) -> int:
+    """Replay a workload's traces against a running daemon."""
+    if not args.uds and not args.port:
+        raise SystemExit("bench-net needs --uds PATH or --port N")
+    config = _resolve_workload(args)
+    world = build_world(config, args.cell)
+    result = run_bench(world.traces, path=args.uds, host=args.host,
+                       port=args.port,
+                       codec=WireCodec.from_sizes(world.sizes),
+                       connections=args.connections, window=args.window,
+                       repeat=args.repeat, shutdown=args.shutdown)
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     """Render a recorded trace; exit non-zero if it fails to reconcile."""
     data = read_trace(args.trace)
@@ -360,6 +451,64 @@ def build_parser() -> argparse.ArgumentParser:
                                       "REPRO_SANITIZE=1")
     add_workload_options(simulate_parser)
     simulate_parser.set_defaults(handler=_cmd_simulate)
+
+    def add_endpoint_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--uds", default=None, metavar="PATH",
+                         help="Unix domain socket path (preferred for "
+                              "local serving)")
+        sub.add_argument("--host", default="127.0.0.1",
+                         help="TCP bind/connect host (default 127.0.0.1)")
+        sub.add_argument("--port", type=int, default=0,
+                         help="TCP port (serve default 0: ephemeral)")
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="serve a workload's alarm server over a socket "
+                      "(docs/NETWORKING.md)")
+    serve_parser.add_argument("--strategy", required=True,
+                              help=STRATEGY_HELP)
+    add_endpoint_options(serve_parser)
+    serve_parser.add_argument("--batch", type=int, default=64,
+                              help="max uplinks per drain batch "
+                                   "(default 64)")
+    serve_parser.add_argument("--queue", type=int, default=256,
+                              help="per-connection uplink queue bound "
+                                   "(default 256)")
+    serve_parser.add_argument("--trace", default=None, metavar="PATH",
+                              help="record a JSONL telemetry trace "
+                                   "readable by `repro report`")
+    serve_parser.add_argument("--cell-cache", action="store_true",
+                              help="enable the server's per-cell alarm "
+                                   "cache")
+    serve_parser.add_argument("--region-cache", action="store_true",
+                              help="enable the cell-keyed safe-region "
+                                   "memo")
+    serve_parser.add_argument("--verify-wire", action="store_true",
+                              help="assert charged bytes == encoded "
+                                   "bytes per message")
+    serve_parser.add_argument("--sanitize", action="store_true",
+                              help="enable the runtime invariant "
+                                   "sanitizer (adds framed-byte "
+                                   "accounting checks)")
+    add_workload_options(serve_parser)
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    bench_parser = subparsers.add_parser(
+        "bench-net", help="replay a workload's traces against a "
+                          "running `repro serve` daemon")
+    add_endpoint_options(bench_parser)
+    bench_parser.add_argument("--connections", type=int, default=4,
+                              help="concurrent connections (default 4)")
+    bench_parser.add_argument("--window", type=int, default=64,
+                              help="in-flight requests per connection "
+                                   "(default 64)")
+    bench_parser.add_argument("--repeat", type=int, default=1,
+                              help="replay the trace set N times "
+                                   "(default 1)")
+    bench_parser.add_argument("--shutdown", action="store_true",
+                              help="send the daemon a SHUTDOWN frame "
+                                   "when done")
+    add_workload_options(bench_parser)
+    bench_parser.set_defaults(handler=_cmd_bench_net)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile a workload and its safe regions")

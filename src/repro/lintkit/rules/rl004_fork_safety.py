@@ -209,9 +209,13 @@ class ForkSafetyRule(LintRule):
     rule_id = "RL004"
     title = "fork-safety: no module-global writes in worker-reachable code"
     # Everything a parallel-engine worker can reach: the engine itself,
-    # strategies it constructs, and the packages those call into.
+    # strategies it constructs, and the packages those call into.  The
+    # protocol and net packages ride along: the daemon multiplexes
+    # connections over one event loop, where module-global serving
+    # state would alias across connections exactly as it would across
+    # forked shards.
     scopes = ("engine", "strategies", "saferegion", "index", "alarms",
-              "geometry", "mobility", "telemetry")
+              "geometry", "mobility", "telemetry", "protocol", "net")
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
         mutables = _module_level_mutables(ctx.tree)

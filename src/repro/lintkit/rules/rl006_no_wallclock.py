@@ -38,8 +38,11 @@ class NoWallclockRule(LintRule):
 
     rule_id = "RL006"
     title = "no-wallclock: hot paths read the sample clock, not the host's"
+    # protocol and net are in scope too: the framed path carries the
+    # *simulation* clock on its envelope, so the serving side must stay
+    # wallclock-free outside sanctioned perf_counter latency probes.
     scopes = ("engine", "strategies", "saferegion", "index", "geometry",
-              "mobility", "alarms", "telemetry")
+              "mobility", "alarms", "telemetry", "protocol", "net")
     exempt_files = ("engine/profiling.py",)
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:

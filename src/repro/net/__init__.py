@@ -1,0 +1,45 @@
+"""Real network serving: the asyncio daemon and its socket clients.
+
+The protocol split (:mod:`repro.protocol`) left transports pluggable;
+this package plugs in an actual byte stream.  Four pieces:
+
+* :class:`AlarmDaemon` — an asyncio server (TCP or Unix domain socket)
+  that frames uplink reports off connections, drives the stateless
+  :func:`~repro.protocol.handlers.handle_request` pipeline with uplink
+  batching and bounded-queue backpressure, and writes framed replies.
+  :class:`DaemonThread` hosts one in a background thread for tests and
+  the in-process network engine.
+* :class:`SocketTransport` — a blocking-socket client implementing the
+  same :class:`~repro.protocol.transport.Transport` interface as the
+  in-process transports, so a :class:`~repro.protocol.transport.ClientSession`
+  cannot tell it is talking over a real socket.
+* :func:`run_network_simulation` — the serial replay loop with the
+  client and server halves on opposite ends of a Unix socket; the
+  conformance suite pins its counters byte-identical to the goldens.
+* :func:`run_bench` — the ``repro bench-net`` load generator: pipelined
+  mobility-trace replay over N concurrent connections.
+
+Byte accounting is unchanged by design: the daemon charges through the
+same :class:`~repro.protocol.transport.InProcessTransport` accounting
+path the serial engine uses, and the frame envelope (headers, batch
+tags, in-band notifications) is never charged — see
+``docs/NETWORKING.md``.
+"""
+
+from .bench import BenchResult, run_bench
+from .daemon import AlarmDaemon, DaemonThread
+from .engine import run_network_simulation
+from .sockets import (PyramidGeometry, SocketTransport, bitmap_geometry_of,
+                      pyramid_resolver)
+
+__all__ = [
+    "AlarmDaemon",
+    "BenchResult",
+    "DaemonThread",
+    "PyramidGeometry",
+    "SocketTransport",
+    "bitmap_geometry_of",
+    "pyramid_resolver",
+    "run_bench",
+    "run_network_simulation",
+]

@@ -1,0 +1,106 @@
+"""The network simulation engine: serial replay over a real socket.
+
+:func:`run_network_simulation` is the serial engine
+(:func:`~repro.engine.simulation.run_simulation`) with its transport
+replaced by a Unix-domain socket: the server half runs in an
+:class:`~repro.net.daemon.AlarmDaemon` on a background event-loop
+thread, the client half drives a :class:`~repro.net.sockets.SocketTransport`
+through the unchanged ``replay_vehicle_major`` loop.  Same world, same
+strategy objects, same stop-and-wait semantics — every protocol byte
+just happens to cross a kernel socket buffer.
+
+The result is scored like any serial run, and the transport
+conformance suite pins its counters equal to the in-process goldens:
+the framed path must charge *exactly* what the in-process path
+charges, message for message and byte for byte.
+
+Metrics bookkeeping: the daemon charges all traffic against the
+server's ``Metrics``; the client session accumulates its local
+containment counters in a second ``Metrics``.  The two sets of fields
+are disjoint, so :meth:`~repro.engine.metrics.Metrics.merged` (the
+parallel engine's exact-sum merge) recombines them losslessly.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from typing import Optional
+
+from ..engine.groundtruth import verify_accuracy
+from ..engine.metrics import Metrics
+from ..engine.server import AlarmServer
+from ..engine.simulation import SimulationResult, World, replay_vehicle_major
+from ..protocol.transport import ClientSession
+from ..protocol.wire import WireCodec
+from ..sanitize import Sanitizer
+from ..strategies.base import ProcessingStrategy
+from ..telemetry.facade import DISABLED, Telemetry
+from .daemon import AlarmDaemon, DaemonThread
+from .sockets import SocketTransport, bitmap_geometry_of, pyramid_resolver
+
+
+def run_network_simulation(world: World, strategy: ProcessingStrategy,
+                           *, telemetry: Optional[Telemetry] = None,
+                           sanitize: Optional[bool] = None,
+                           batch_max: int = 64,
+                           queue_limit: int = 256,
+                           timeout_s: float = 60.0) -> SimulationResult:
+    """Replay ``world`` through ``strategy`` over a Unix-domain socket.
+
+    Flags mirror the serial engine where they are meaningful;
+    ``batch_max``/``queue_limit`` are the daemon's knobs, ``timeout_s``
+    bounds every client read so a wedged daemon surfaces as
+    :class:`~repro.protocol.transport.TransportError`, never a hang.
+    """
+    telemetry = telemetry if telemetry is not None else DISABLED
+    sanitizer = Sanitizer.resolve(sanitize)
+    if sanitizer.enabled:
+        sanitizer.snapshot_geometry(world.registry)
+    server_metrics = Metrics()
+    server = AlarmServer(world.registry, world.grid, server_metrics,
+                         sizes=world.sizes, telemetry=telemetry)
+    codec = WireCodec.from_sizes(world.sizes)
+    daemon = AlarmDaemon(server, strategy.server_policy(), codec,
+                         verify_wire=sanitizer.enabled,
+                         batch_max=batch_max, queue_limit=queue_limit,
+                         sanitizer=sanitizer)
+    geometry = bitmap_geometry_of(strategy)
+    pyramid_for = (pyramid_resolver(world.grid, geometry)
+                   if geometry is not None else None)
+    client_metrics = Metrics()
+    if telemetry.enabled:
+        telemetry.shard_started(len(world.traces))
+    started = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-net-") as tmp:
+        path = os.path.join(tmp, "alarm.sock")
+        with DaemonThread(daemon, path=path):
+            transport = SocketTransport.connect_unix(
+                path, codec, pyramid_for=pyramid_for,
+                telemetry=telemetry, timeout_s=timeout_s)
+            try:
+                session = ClientSession(transport, client_metrics,
+                                        world.grid, telemetry)
+                strategy.attach(session)
+                replay_vehicle_major(strategy, world.traces, sanitizer)
+            finally:
+                transport.close()
+                server.close()
+    wall_time = time.perf_counter() - started
+    if sanitizer.enabled:
+        sanitizer.verify_geometry(world.registry)
+    if telemetry.enabled:
+        telemetry.shard_finished(len(world.traces), wall_time)
+
+    metrics = Metrics.merged([server_metrics, client_metrics])
+    if sanitizer.enabled:
+        sanitizer.check_merge([server_metrics, client_metrics], metrics)
+    accuracy = verify_accuracy(world.ground_truth(), metrics)
+    return SimulationResult(strategy_name=strategy.name, metrics=metrics,
+                            accuracy=accuracy,
+                            duration_s=world.duration_s,
+                            client_count=len(world.traces),
+                            total_samples=world.traces.total_samples,
+                            wall_time_s=wall_time,
+                            energy_model=world.energy)

@@ -1,0 +1,235 @@
+"""Client side of the framed socket protocol.
+
+:class:`SocketTransport` is a blocking-socket
+:class:`~repro.protocol.transport.Transport`: a
+:class:`~repro.protocol.state.ClientSession` drives it exactly as it
+drives the in-process transports, while every exchange actually
+crosses a TCP or Unix-domain stream as frames (see
+:mod:`repro.protocol.framing`).
+
+Division of accounting labour: the **daemon** charges all traffic
+(through its in-process transport), so this client charges nothing —
+with client and daemon in one test process the shared ``Metrics``
+would otherwise double-count.  The client's only instruments are the
+optional ``net_rtt_us`` histogram and the sanitizer's framed-uplink
+check.
+
+Bitmap strategies need one extra ingredient: a bitmap downlink carries
+the cell reference and the payload bits, but decoding the bits into a
+:class:`~repro.saferegion.bitmap.PyramidBitmap` requires the pyramid
+*geometry* (fan-out and height), which both ends know statically from
+the strategy.  :func:`bitmap_geometry_of` extracts it from a strategy
+and :func:`pyramid_resolver` turns it into the ``pyramid_for``
+callback :func:`~repro.protocol.framing.decode_reply` wants.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Callable, Deque, List, NamedTuple, Optional
+
+from ..index import CellId, GridOverlay, Pyramid
+from ..protocol.framing import (Frame, FrameDecoder, FrameKind, FramingError,
+                                decode_error, decode_reply, encode_frame,
+                                encode_hello)
+from ..protocol.messages import Request, Response, ServerReply
+from ..protocol.transport import Transport, TransportError
+from ..protocol.wire import WireCodec, unpack_cell_ref
+from ..telemetry.facade import DISABLED, Telemetry
+
+#: Socket read size, matching the daemon's.
+_READ_CHUNK = 1 << 16
+
+
+class PyramidGeometry(NamedTuple):
+    """Static pyramid shape a bitmap strategy and its clients share."""
+
+    fan_cols: int
+    fan_rows: int
+    height: int
+
+
+def bitmap_geometry_of(strategy: object) -> Optional[PyramidGeometry]:
+    """The pyramid geometry a strategy's bitmap downlinks assume.
+
+    Returns ``None`` for strategies that never ship bitmaps.  Both
+    bitmap computers expose their shape: PBSR as ``fan``/``height``,
+    GBSR as a flat ``resolution``.
+    """
+    computer = getattr(strategy, "computer", None)
+    if computer is None:
+        return None
+    fan = getattr(computer, "fan", None)
+    height = getattr(computer, "height", None)
+    if fan is not None and height is not None:
+        return PyramidGeometry(fan, fan, height)
+    resolution = getattr(computer, "resolution", None)
+    if resolution is not None:
+        return PyramidGeometry(resolution, resolution, 1)
+    return None
+
+
+def pyramid_resolver(grid: GridOverlay,
+                     geometry: PyramidGeometry
+                     ) -> Callable[[int], Pyramid]:
+    """``pyramid_for`` callback mapping a wire cell ref to its pyramid."""
+
+    def resolve(cell_ref: int) -> Pyramid:
+        col, row = unpack_cell_ref(cell_ref)
+        return Pyramid(grid.cell_rect(CellId(col, row)),
+                       fan_cols=geometry.fan_cols,
+                       fan_rows=geometry.fan_rows,
+                       height=geometry.height)
+
+    return resolve
+
+
+class SocketTransport(Transport):
+    """Blocking framed-socket client transport (stop-and-wait).
+
+    ``request`` frames one uplink, then reads until the matching REPLY
+    frame arrives; PUSH frames interleaved before it are decoded and
+    collected in :attr:`pushes` (order preserved).  Any ERROR frame,
+    EOF, or timeout surfaces as
+    :class:`~repro.protocol.transport.TransportError` — never a hang.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 codec: Optional[WireCodec] = None, *,
+                 pyramid_for: Optional[Callable[[int], Pyramid]] = None,
+                 telemetry: Optional[Telemetry] = None,
+                 timeout_s: float = 30.0) -> None:
+        self.codec = codec if codec is not None else WireCodec()
+        self.pyramid_for = pyramid_for
+        self.telemetry = telemetry if telemetry is not None else DISABLED
+        self.pushes: List[Response] = []
+        self._sock: Optional[socket.socket] = sock
+        self._decoder = FrameDecoder()
+        self._pending: Deque[Frame] = deque()
+        sock.settimeout(timeout_s)
+        sock.sendall(encode_frame(FrameKind.HELLO, encode_hello()))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def connect_unix(cls, path: str, codec: Optional[WireCodec] = None,
+                     **kwargs: object) -> "SocketTransport":
+        """Connect to a daemon listening on a Unix domain socket."""
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+        except OSError:
+            sock.close()
+            raise
+        return cls(sock, codec, **kwargs)  # type: ignore[arg-type]
+
+    @classmethod
+    def connect_tcp(cls, host: str, port: int,
+                    codec: Optional[WireCodec] = None,
+                    **kwargs: object) -> "SocketTransport":
+        """Connect to a daemon listening on TCP ``host:port``."""
+        sock = socket.create_connection((host, port))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return cls(sock, codec, **kwargs)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # Transport interface
+    # ------------------------------------------------------------------
+    def request(self, request: Request, time_s: float) -> ServerReply:
+        sock = self._require_socket()
+        payload = self.codec.encode_request(request)
+        started = (time.perf_counter()
+                   if self.telemetry.enabled else 0.0)
+        try:
+            sock.sendall(encode_frame(FrameKind.REQUEST, payload, time_s))
+        except OSError as exc:
+            raise TransportError("send failed: %s" % exc) from exc
+        frame = self._read_frame(FrameKind.REPLY)
+        if self.telemetry.enabled:
+            self.telemetry.net_rtt(
+                (time.perf_counter() - started) * 1e6)
+        try:
+            return decode_reply(self.codec, frame.payload,
+                                pyramid_for=self.pyramid_for)
+        except FramingError as exc:
+            raise TransportError("undecodable REPLY: %s" % exc) from exc
+
+    def push(self, user_id: int, message: Response,
+             time_s: float) -> None:
+        raise TransportError(
+            "socket clients receive pushes; they cannot send them")
+
+    # ------------------------------------------------------------------
+    def _require_socket(self) -> socket.socket:
+        if self._sock is None:
+            raise TransportError("transport is closed")
+        return self._sock
+
+    def _read_frame(self, wanted: FrameKind) -> Frame:
+        """Read until a ``wanted`` frame arrives, absorbing PUSHes."""
+        sock = self._require_socket()
+        while True:
+            while self._pending:
+                frame = self._pending.popleft()
+                if frame.kind is wanted:
+                    return frame
+                if frame.kind is FrameKind.PUSH:
+                    try:
+                        reply = decode_reply(self.codec, frame.payload,
+                                             pyramid_for=self.pyramid_for)
+                    except FramingError as exc:
+                        raise TransportError(
+                            "undecodable PUSH: %s" % exc) from exc
+                    self.pushes.extend(reply)
+                elif frame.kind is FrameKind.ERROR:
+                    raise TransportError(
+                        "server error: %s" % decode_error(frame.payload))
+                else:
+                    raise TransportError(
+                        "unexpected %s frame from the server"
+                        % frame.kind.name)
+            try:
+                chunk = sock.recv(_READ_CHUNK)
+            except socket.timeout as exc:
+                raise TransportError(
+                    "timed out waiting for a %s frame"
+                    % wanted.name) from exc
+            except OSError as exc:
+                raise TransportError("receive failed: %s" % exc) from exc
+            if not chunk:
+                mid_frame = self._decoder.buffered > 0
+                raise TransportError(
+                    "server closed the connection mid-frame" if mid_frame
+                    else "server closed the connection")
+            try:
+                self._pending.extend(self._decoder.feed(chunk))
+            except FramingError as exc:
+                raise TransportError(
+                    "corrupt frame from the server: %s" % exc) from exc
+
+    # ------------------------------------------------------------------
+    def send_shutdown(self) -> None:
+        """Ask the daemon to stop serving (operator channel)."""
+        sock = self._require_socket()
+        try:
+            sock.sendall(encode_frame(FrameKind.SHUTDOWN, b""))
+        except OSError as exc:
+            raise TransportError("send failed: %s" % exc) from exc
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        sock = self._sock
+        if sock is None:
+            return
+        self._sock = None
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

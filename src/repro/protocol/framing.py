@@ -1,0 +1,333 @@
+"""Length-prefixed frame codec for the socket transport (sans-IO).
+
+The :class:`~repro.protocol.wire.WireCodec` defines what one *message*
+looks like in bytes; this module defines how messages travel over a
+*byte stream* (TCP or a Unix domain socket), where the peer's reads may
+split the stream at any boundary.  Every frame is a fixed 16-byte
+header followed by a length-prefixed payload::
+
+    magic:    u8   (0xF7 — rejects peers speaking another protocol)
+    kind:     u8   (:class:`FrameKind`)
+    reserved: u16  (zero on the wire)
+    length:   u32  (payload bytes; capped at :data:`MAX_FRAME_PAYLOAD`)
+    time:     f64  (simulation-clock seconds of the exchange)
+
+The simulation clock rides the *envelope*, never a charged payload:
+an uplink report carries no timestamp field of its own (the 32-byte
+:class:`~repro.protocol.messages.LocationReport` layout is unchanged),
+so the framed path charges exactly the bytes the in-process path
+charges — the conformance suite pins the equality against the wire
+goldens.
+
+:class:`FrameDecoder` is deliberately incremental — feed it chunks as
+they arrive and it yields complete frames, buffering any tail —
+because the property suite replays encodings split at every byte
+boundary.  Nothing in this module touches a socket; both the asyncio
+daemon and the blocking client transport (:mod:`repro.net`) drive it.
+
+A REPLY frame carries a whole :data:`~repro.protocol.messages.ServerReply`
+batch: a u16 message count, then per message a tag byte — tag 0 is an
+in-band :class:`~repro.protocol.messages.AlarmNotification` (u64 alarm
+id, charged zero bytes like the in-process path), tag 1 is a sized
+payload (u32 length + the codec's ``encode_response`` bytes, the only
+part that counts as downlink traffic).
+"""
+
+from __future__ import annotations
+
+import struct
+from enum import IntEnum
+from typing import (TYPE_CHECKING, Callable, List, NamedTuple, Optional,
+                    Tuple)
+
+from .messages import AlarmNotification, Response, ServerReply
+from .wire import MessageType, WireCodec, peek_bitmap_cell_ref, peek_type
+
+if TYPE_CHECKING:  # typing only: keeps the module import-light
+    from ..index import Pyramid
+
+#: First byte of every frame; anything else is a foreign protocol.
+FRAME_MAGIC = 0xF7
+
+#: Hard cap on one frame's payload.  Large enough for any OPT alarm
+#: push the 16-bit downlink length field can express, small enough
+#: that a corrupt length prefix cannot make a peer buffer gigabytes.
+MAX_FRAME_PAYLOAD = 1 << 20
+
+#: Version byte carried by HELLO; bumped on any layout change.
+PROTOCOL_VERSION = 1
+
+_FRAME_HEADER = struct.Struct("<BBHId")     # 16 bytes
+FRAME_HEADER_SIZE = _FRAME_HEADER.size
+
+_HELLO = struct.Struct("<H")
+_REPLY_COUNT = struct.Struct("<H")
+_REPLY_NOTIFICATION = struct.Struct("<Q")
+_REPLY_LENGTH = struct.Struct("<I")
+
+#: REPLY batch entry tags.
+_TAG_NOTIFICATION = 0
+_TAG_PAYLOAD = 1
+
+
+class FrameKind(IntEnum):
+    """Frame discriminators of the socket protocol."""
+
+    HELLO = 1      # client -> server: protocol version handshake
+    REQUEST = 2    # client -> server: one encoded uplink report
+    REPLY = 3      # server -> client: the request's ServerReply batch
+    PUSH = 4       # server -> client: one encoded downlink outside a reply
+    ERROR = 5      # server -> client: UTF-8 reason, connection closing
+    SHUTDOWN = 6   # client -> server: stop the daemon (operator channel)
+
+
+#: Value -> member map for the decoder's hot path (an ``IntEnum`` call
+#: costs about a microsecond; at frame rates that is real money).
+_FRAME_KINDS = {member.value: member for member in FrameKind}
+
+
+class FramingError(ValueError):
+    """A byte stream violated the frame layout (garbage, oversize)."""
+
+
+class TruncatedFrameError(FramingError):
+    """The stream ended mid-frame (header or payload incomplete)."""
+
+
+class Frame(NamedTuple):
+    """One decoded frame: kind, envelope timestamp, raw payload.
+
+    A ``NamedTuple`` rather than a frozen dataclass: the decoder builds
+    one per frame on the serving hot path, and tuple construction skips
+    the per-field ``object.__setattr__`` a frozen dataclass pays.
+    """
+
+    kind: FrameKind
+    time_s: float
+    payload: bytes
+
+
+def encode_frame(kind: FrameKind, payload: bytes,
+                 time_s: float = 0.0) -> bytes:
+    """Serialize one frame (header + payload)."""
+    if len(payload) > MAX_FRAME_PAYLOAD:
+        raise FramingError("frame payload of %d bytes exceeds the %d-byte "
+                           "cap" % (len(payload), MAX_FRAME_PAYLOAD))
+    return _FRAME_HEADER.pack(FRAME_MAGIC, int(kind), 0, len(payload),
+                              time_s) + payload
+
+
+class FrameDecoder:
+    """Incremental frame parser tolerant of arbitrary read boundaries.
+
+    Feed it byte chunks exactly as they came off the socket; it returns
+    every frame completed by the chunk and buffers the remainder.  A
+    malformed header (wrong magic, unknown kind, oversized length)
+    raises :class:`FramingError` immediately — the connection is not
+    recoverable past a framing violation.  Call :meth:`finish` at
+    end-of-stream to distinguish a clean close from a mid-frame one.
+    """
+
+    __slots__ = ("_buffer",)
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for the rest of an incomplete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Absorb one chunk; return the frames it completed."""
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def finish(self) -> None:
+        """Assert the stream ended on a frame boundary."""
+        if self._buffer:
+            raise TruncatedFrameError(
+                "stream ended mid-frame with %d buffered byte(s)"
+                % len(self._buffer))
+
+    def _next_frame(self) -> Optional[Frame]:
+        buffer = self._buffer
+        if len(buffer) < FRAME_HEADER_SIZE:
+            return None
+        magic, kind, _, length, time_s = _FRAME_HEADER.unpack_from(buffer)
+        if magic != FRAME_MAGIC:
+            raise FramingError("bad frame magic 0x%02X (expected 0x%02X)"
+                               % (magic, FRAME_MAGIC))
+        frame_kind = _FRAME_KINDS.get(kind)
+        if frame_kind is None:
+            raise FramingError("unknown frame kind %d" % kind)
+        if length > MAX_FRAME_PAYLOAD:
+            raise FramingError(
+                "frame announces a %d-byte payload, above the %d-byte cap"
+                % (length, MAX_FRAME_PAYLOAD))
+        end = FRAME_HEADER_SIZE + length
+        if len(buffer) < end:
+            return None
+        payload = bytes(buffer[FRAME_HEADER_SIZE:end])
+        del buffer[:end]
+        return Frame(kind=frame_kind, time_s=time_s, payload=payload)
+
+
+# ----------------------------------------------------------------------
+# HELLO / ERROR payloads
+# ----------------------------------------------------------------------
+def encode_hello() -> bytes:
+    """The version-handshake payload a client sends first."""
+    return _HELLO.pack(PROTOCOL_VERSION)
+
+
+def decode_hello(payload: bytes) -> int:
+    """Validate a HELLO payload; returns the peer's version."""
+    if len(payload) != _HELLO.size:
+        raise FramingError("HELLO payload must be %d bytes, got %d"
+                           % (_HELLO.size, len(payload)))
+    (version,) = _HELLO.unpack(payload)
+    if version != PROTOCOL_VERSION:
+        raise FramingError("peer speaks protocol version %d, this end "
+                           "speaks %d" % (version, PROTOCOL_VERSION))
+    return version
+
+
+def encode_error(reason: str) -> bytes:
+    """The payload of an ERROR frame (UTF-8 reason)."""
+    return reason.encode("utf-8")
+
+
+def decode_error(payload: bytes) -> str:
+    return payload.decode("utf-8", errors="replace")
+
+
+# ----------------------------------------------------------------------
+# REPLY batches
+# ----------------------------------------------------------------------
+def encode_reply(codec: WireCodec, reply: ServerReply, sender: int,
+                 timestamp: float) -> bytes:
+    """Serialize one ``ServerReply`` batch into a REPLY payload.
+
+    In-band notifications take the 9-byte tag-0 form (they encode to
+    ``b""`` under the codec and are charged zero bytes, matching the
+    in-process transport); every other response is a tag-1 entry whose
+    sized payload is exactly ``codec.encode_response(...)`` — the bytes
+    the transport charged.
+    """
+    if len(reply) > 0xFFFF:
+        raise FramingError("reply batch of %d messages overflows the "
+                           "u16 count" % len(reply))
+    parts = [_REPLY_COUNT.pack(len(reply))]
+    for message in reply:
+        if isinstance(message, AlarmNotification):
+            parts.append(bytes((_TAG_NOTIFICATION,)))
+            parts.append(_REPLY_NOTIFICATION.pack(message.alarm_id))
+            continue
+        encoded = codec.encode_response(message, sender=sender,
+                                        timestamp=timestamp)
+        parts.append(bytes((_TAG_PAYLOAD,)))
+        parts.append(_REPLY_LENGTH.pack(len(encoded)))
+        parts.append(encoded)
+    return b"".join(parts)
+
+
+#: Resolves a bitmap downlink's wire cell reference to the pyramid
+#: geometry the client derives from its grid configuration.
+PyramidResolver = Callable[[int], "Pyramid"]
+
+
+def decode_reply(codec: WireCodec, payload: bytes,
+                 pyramid_for: Optional[PyramidResolver] = None
+                 ) -> ServerReply:
+    """Deserialize a REPLY payload back into typed responses.
+
+    ``pyramid_for`` supplies the client-side pyramid geometry for
+    bitmap safe regions (see
+    :func:`~repro.protocol.wire.decode_bitmap_region`); replies without
+    bitmap payloads need none.
+    """
+    if len(payload) < _REPLY_COUNT.size:
+        raise FramingError("reply payload shorter than its count field")
+    (count,) = _REPLY_COUNT.unpack_from(payload)
+    cursor = _REPLY_COUNT.size
+    messages: List[Response] = []
+    for _ in range(count):
+        if cursor >= len(payload):
+            raise FramingError("reply batch truncated before entry %d"
+                               % len(messages))
+        tag = payload[cursor]
+        cursor += 1
+        if tag == _TAG_NOTIFICATION:
+            end = cursor + _REPLY_NOTIFICATION.size
+            if end > len(payload):
+                raise FramingError("notification entry truncated")
+            (alarm_id,) = _REPLY_NOTIFICATION.unpack_from(payload, cursor)
+            messages.append(AlarmNotification(alarm_id=alarm_id))
+            cursor = end
+            continue
+        if tag != _TAG_PAYLOAD:
+            raise FramingError("unknown reply entry tag %d" % tag)
+        end = cursor + _REPLY_LENGTH.size
+        if end > len(payload):
+            raise FramingError("payload entry length truncated")
+        (length,) = _REPLY_LENGTH.unpack_from(payload, cursor)
+        cursor = end
+        end = cursor + length
+        if end > len(payload):
+            raise FramingError("payload entry truncated: announced %d "
+                               "bytes, %d available"
+                               % (length, len(payload) - cursor))
+        encoded = payload[cursor:end]
+        cursor = end
+        pyramid = None
+        if peek_type(encoded) is MessageType.BITMAP_SAFE_REGION:
+            if pyramid_for is None:
+                raise FramingError("reply carries a bitmap safe region "
+                                   "but no pyramid resolver was given")
+            pyramid = pyramid_for(peek_bitmap_cell_ref(encoded))
+        messages.append(codec.decode_response(encoded, pyramid))
+    if cursor != len(payload):
+        raise FramingError("%d trailing byte(s) after the last reply "
+                           "entry" % (len(payload) - cursor))
+    return tuple(messages)
+
+
+def reply_summary(payload: bytes) -> Tuple[int, int, int]:
+    """``(messages, notifications, charged_bytes)`` of a REPLY payload.
+
+    Walks the batch envelope without decoding any message — the load
+    generator's fast accounting path, and the sanitizer's cross-check
+    that a reply frame carries exactly the downlink bytes the server
+    charged (tag-0 notifications are in-band and charge nothing).
+    """
+    if len(payload) < _REPLY_COUNT.size:
+        raise FramingError("reply payload shorter than its count field")
+    (count,) = _REPLY_COUNT.unpack_from(payload)
+    cursor = _REPLY_COUNT.size
+    notifications = 0
+    charged = 0
+    for _ in range(count):
+        if cursor >= len(payload):
+            raise FramingError("reply batch truncated")
+        tag = payload[cursor]
+        cursor += 1
+        if tag == _TAG_NOTIFICATION:
+            notifications += 1
+            cursor += _REPLY_NOTIFICATION.size
+        elif tag == _TAG_PAYLOAD:
+            if cursor + _REPLY_LENGTH.size > len(payload):
+                raise FramingError("payload entry length truncated")
+            (length,) = _REPLY_LENGTH.unpack_from(payload, cursor)
+            cursor += _REPLY_LENGTH.size + length
+            charged += length
+        else:
+            raise FramingError("unknown reply entry tag %d" % tag)
+    if cursor != len(payload):
+        raise FramingError("reply batch length mismatch")
+    return count, notifications, charged

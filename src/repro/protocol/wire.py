@@ -353,6 +353,18 @@ def peek_type(data: bytes) -> MessageType:
     return MessageType(data[0])
 
 
+def peek_bitmap_cell_ref(data: bytes) -> int:
+    """Wire cell reference of an encoded bitmap downlink.
+
+    Reads only the fixed prefix — the framed client uses this to build
+    the pyramid geometry *before* the full decode, which needs it.
+    """
+    if peek_type(data) is not MessageType.BITMAP_SAFE_REGION:
+        raise ValueError("not a bitmap safe-region message")
+    cell_ref, _ = _BITMAP_FIXED.unpack_from(data, _HEADER.size)
+    return cell_ref
+
+
 # ----------------------------------------------------------------------
 # The codec object: typed message <-> bytes, with derived sizes
 # ----------------------------------------------------------------------

@@ -125,6 +125,23 @@ class Sanitizer:
                 "(%d bits) but encode_response produced %d bytes"
                 % (size, 8 * size, len(encoded)))
 
+    def check_frame(self, direction: str, payload_bytes: int,
+                    charged_bytes: int) -> None:
+        """Assert a socket frame carries exactly the bytes charged.
+
+        The framed network path extends the wire-fidelity contract one
+        layer out: an uplink frame's payload is the codec encoding the
+        transport charged, and a reply frame's sized entries sum to the
+        downlink bytes charged for that exchange.  The envelope (frame
+        headers, batch tags, in-band notifications) is free by design
+        and excluded from ``payload_bytes`` by the caller.
+        """
+        if payload_bytes != charged_bytes:
+            raise SanitizerError(
+                "framed %s accounting drift: frame carries %d charged "
+                "byte(s) but the transport charged %d"
+                % (direction, payload_bytes, charged_bytes))
+
     def check_merge(self, parts: Sequence["Metrics"],
                     merged: "Metrics") -> None:
         """Spot-check the metrics merge: fold order must not matter."""
@@ -164,6 +181,10 @@ class _DisabledSanitizer(Sanitizer):
 
     def check_wire(self, codec: "WireCodec",
                    message: "Response") -> None:
+        return
+
+    def check_frame(self, direction: str, payload_bytes: int,
+                    charged_bytes: int) -> None:
         return
 
     def check_merge(self, parts: Sequence["Metrics"],

@@ -17,6 +17,8 @@ catalogue and the reconciliation contract.
 
 from .events import (BASE_FIELDS, EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
                      EVENT_FIELDS, EVENT_LOCATION_REPORT,
+                     EVENT_NET_BACKPRESSURE, EVENT_NET_BATCH,
+                     EVENT_NET_CONN_CLOSE, EVENT_NET_CONN_OPEN,
                      EVENT_SAFEREGION_COMPUTED, EVENT_SAFEREGION_EXIT,
                      EVENT_SHARD_FINISHED, EVENT_SHARD_STARTED,
                      EVENT_TYPES, RECORD_EVENT, RECORD_MANIFEST,
@@ -41,6 +43,10 @@ __all__ = [
     "EVENT_DOWNLINK_SENT",
     "EVENT_FIELDS",
     "EVENT_LOCATION_REPORT",
+    "EVENT_NET_BACKPRESSURE",
+    "EVENT_NET_BATCH",
+    "EVENT_NET_CONN_CLOSE",
+    "EVENT_NET_CONN_OPEN",
     "EVENT_SAFEREGION_COMPUTED",
     "EVENT_SAFEREGION_EXIT",
     "EVENT_SHARD_FINISHED",

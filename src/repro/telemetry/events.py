@@ -39,6 +39,10 @@ EVENT_DOWNLINK_SENT = "downlink_sent"
 EVENT_TRANSPORT_DROP = "transport_drop"
 EVENT_SHARD_STARTED = "shard_started"
 EVENT_SHARD_FINISHED = "shard_finished"
+EVENT_NET_CONN_OPEN = "net_conn_open"
+EVENT_NET_CONN_CLOSE = "net_conn_close"
+EVENT_NET_BATCH = "net_batch"
+EVENT_NET_BACKPRESSURE = "net_backpressure"
 
 #: Required payload fields per event type (beyond the base fields).
 #: ``user`` appears where the event concerns one subscriber.
@@ -51,6 +55,10 @@ EVENT_FIELDS: Dict[str, FrozenSet[str]] = {
     EVENT_TRANSPORT_DROP: frozenset({"user", "direction"}),
     EVENT_SHARD_STARTED: frozenset({"vehicles"}),
     EVENT_SHARD_FINISHED: frozenset({"vehicles", "wall_s"}),
+    EVENT_NET_CONN_OPEN: frozenset({"conn"}),
+    EVENT_NET_CONN_CLOSE: frozenset({"conn", "clean", "requests"}),
+    EVENT_NET_BATCH: frozenset({"conn", "requests"}),
+    EVENT_NET_BACKPRESSURE: frozenset({"conn", "depth"}),
 }
 
 #: All known event types, sorted for stable listings.

@@ -55,6 +55,10 @@ RECONCILE_EVENTS = (
 #: events of that type.
 RECONCILE_REGISTRY_EVENTS = (
     ("saferegion_exits", "saferegion_exit"),
+    ("net_connections_opened", "net_conn_open"),
+    ("net_connections_closed", "net_conn_close"),
+    ("net_batches", "net_batch"),
+    ("net_backpressure_stalls", "net_backpressure"),
 )
 
 #: Prefix-sum reconciliation pairs: (registry counter prefix, Metrics

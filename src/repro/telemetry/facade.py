@@ -30,7 +30,9 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .events import (EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
-                     EVENT_LOCATION_REPORT, EVENT_SAFEREGION_COMPUTED,
+                     EVENT_LOCATION_REPORT, EVENT_NET_BACKPRESSURE,
+                     EVENT_NET_BATCH, EVENT_NET_CONN_CLOSE,
+                     EVENT_NET_CONN_OPEN, EVENT_SAFEREGION_COMPUTED,
                      EVENT_SAFEREGION_EXIT, EVENT_SHARD_FINISHED,
                      EVENT_SHARD_STARTED, EVENT_TRANSPORT_DROP,
                      RECORD_SUMMARY)
@@ -168,6 +170,80 @@ class Telemetry:
         if not self.enabled:
             return
         self.registry.histogram("index_fanout").observe(count)
+
+    def net_conn_open(self, conn_id: int) -> None:
+        """A socket client connected to the serving daemon.
+
+        ``t`` is pinned to 0.0 like the shard events: connection
+        arrival is wall-clock phenomenon, not simulation time, and the
+        trace must stay free of host timestamps.
+        """
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_NET_CONN_OPEN, 0.0, conn=conn_id)
+        self.registry.counter("net_connections_opened").inc()
+
+    def net_conn_close(self, conn_id: int, clean: bool,
+                       requests: int) -> None:
+        """A daemon connection ended after serving ``requests`` uplinks.
+
+        ``clean`` is false when the peer vanished mid-frame or broke
+        the framing contract — the fault-injection suite asserts the
+        daemon survives and records exactly this.
+        """
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_NET_CONN_CLOSE, 0.0, conn=conn_id,
+                         clean=clean, requests=requests)
+        self.registry.counter("net_connections_closed").inc()
+
+    def net_batch(self, time_s: float, conn_id: int, requests: int,
+                  handle_us: float) -> None:
+        """The daemon drained one uplink batch of ``requests`` frames.
+
+        ``time_s`` is the simulation timestamp of the batch's first
+        request (the envelope clock); ``handle_us`` is the wall-clock
+        latency probe over decode-handle-encode, the one sanctioned
+        host-time measurement on the serving path.
+        """
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_NET_BATCH, time_s, conn=conn_id,
+                         requests=requests)
+        registry = self.registry
+        registry.counter("net_batches").inc()
+        # Batch composition depends on socket arrival timing, never on
+        # the seeded world — both histograms are host-dependent.
+        registry.histogram("net_batch_size",
+                           deterministic=False).observe(requests)
+        registry.histogram("net_batch_handle_us",
+                           deterministic=False).observe(handle_us)
+
+    def net_backpressure(self, time_s: float, conn_id: int,
+                         depth: int) -> None:
+        """A connection's bounded uplink queue filled; the reader stalled.
+
+        Emitted once per stall (the reader blocks until the drain task
+        frees a slot), so the counter is the number of times
+        backpressure actually bit, not a queue-depth sample stream.
+        """
+        if not self.enabled:
+            return
+        self.tracer.emit(EVENT_NET_BACKPRESSURE, time_s, conn=conn_id,
+                         depth=depth)
+        self.registry.counter("net_backpressure_stalls").inc()
+
+    def net_rtt(self, rtt_us: float) -> None:
+        """One framed request-reply round trip took ``rtt_us``.
+
+        Registry-only, like :meth:`index_fanout`: the client-side
+        latency histogram feeds ``repro report``, and a per-request
+        event would dwarf the rest of the trace at load-test rates.
+        """
+        if not self.enabled:
+            return
+        self.registry.histogram("net_rtt_us",
+                                deterministic=False).observe(rtt_us)
 
     def shard_started(self, vehicles: int) -> None:
         """A shard began its replay (``t`` pinned to simulation zero)."""

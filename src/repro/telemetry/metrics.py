@@ -42,6 +42,14 @@ DEFAULT_BUCKETS: Dict[str, Tuple[float, ...]] = {
                                    500.0, 1000.0, 5000.0),
     # Pending alarms returned by one index lookup (fan-out).
     "index_fanout": (0.0, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+    # Uplink frames drained per daemon batch (1 = no coalescing).
+    "net_batch_size": (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    # Wall-clock cost of serving one drained batch, microseconds.
+    "net_batch_handle_us": (10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+                            1000.0, 5000.0, 20000.0),
+    # Client-observed framed request-reply round trip, microseconds.
+    "net_rtt_us": (50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0,
+                   20000.0, 100000.0),
 }
 
 

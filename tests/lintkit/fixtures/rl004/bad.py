@@ -16,3 +16,7 @@ def memoize(key: str, value: int) -> None:
 def bump() -> None:
     global _TOTAL  # RL004: rebinding a module global
     _TOTAL = _TOTAL + 1
+
+
+async def drain_connection(value: int) -> None:
+    _RESULTS.append(value)  # RL004: async handlers are workers too

@@ -27,3 +27,11 @@ def shadowed_local() -> list:
 
 def read_limit() -> int:
     return _LIMITS["max_shards"]  # reads are fine
+
+
+class ConnectionState:
+    def __init__(self) -> None:
+        self.queue = []
+
+    async def drain(self, value: int) -> None:
+        self.queue.append(value)  # per-connection instance state

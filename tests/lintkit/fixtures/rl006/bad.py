@@ -10,3 +10,7 @@ def sample_timestamp() -> float:
 
 def trigger_label() -> str:
     return datetime.now().isoformat()  # RL006: host wall clock
+
+
+async def stamp_connection() -> float:
+    return time.time()  # RL006: async serving code is a hot path too

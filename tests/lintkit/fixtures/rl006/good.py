@@ -11,3 +11,9 @@ def replay_duration(work) -> float:
 
 def trigger_time(sample) -> float:
     return sample.time  # simulation time comes from the trace
+
+
+async def batch_handle_us(handle) -> float:
+    started = time.perf_counter()  # latency probe: sanctioned
+    await handle()
+    return (time.perf_counter() - started) * 1e6

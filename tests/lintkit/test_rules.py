@@ -13,9 +13,9 @@ EXPECTED_BAD_COUNTS = {
     "RL001": 3,
     "RL002": 3,
     "RL003": 4,
-    "RL004": 3,
+    "RL004": 4,
     "RL005": 5,
-    "RL006": 2,
+    "RL006": 3,
     "RL007": 3,
     "RL008": 4,
 }
@@ -77,3 +77,15 @@ def test_rl005_missing_methods_are_named(lint_fixture):
     assert "'size_bits'" in messages
     assert "'probe'" in messages
     assert "read-only" in messages
+
+
+@pytest.mark.parametrize("rule_id", ["RL004", "RL006"])
+def test_serving_modules_are_in_scope(rule_id):
+    """The framed serving path is worker-reachable, wallclock-sensitive
+    code: RL004 and RL006 must cover protocol (framing) and net (daemon,
+    sockets, bench) alongside the engine packages."""
+    rule = next(cls for cls in ALL_RULES() if cls.rule_id == rule_id)()
+    for path in ("protocol/framing.py", "net/daemon.py",
+                 "net/sockets.py", "net/bench.py"):
+        assert rule.applies_to(path), (rule_id, path)
+    assert not rule.applies_to("cli.py")

@@ -1,0 +1,39 @@
+"""Shared fixtures for the network serving tests.
+
+``make_daemon`` builds a minimal daemon — empty alarm registry, the
+periodic policy — which is all the framing/lifecycle/fault tests need;
+the conformance suite uses the full ``make_world`` path instead.
+"""
+
+import pytest
+
+from repro.alarms import AlarmRegistry
+from repro.engine.metrics import Metrics
+from repro.engine.server import AlarmServer
+from repro.geometry import Point, Rect
+from repro.index import GridOverlay
+from repro.net import AlarmDaemon
+from repro.protocol.messages import LocationReport
+from repro.strategies import PeriodicStrategy
+
+UNIVERSE = Rect(0.0, 0.0, 4000.0, 4000.0)
+
+
+def make_daemon(telemetry=None, **kwargs):
+    """A daemon serving the periodic policy over an empty registry."""
+    registry = AlarmRegistry()
+    grid = GridOverlay(UNIVERSE, 1.0)
+    server = AlarmServer(registry, grid, Metrics(), telemetry=telemetry)
+    return AlarmDaemon(server, PeriodicStrategy().server_policy(),
+                       **kwargs)
+
+
+def make_report(sequence=0, user_id=1):
+    return LocationReport(user_id=user_id, sequence=sequence,
+                          position=Point(1000.0, 1000.0),
+                          heading=0.0, speed=5.0)
+
+
+@pytest.fixture
+def sock_path(tmp_path):
+    return str(tmp_path / "alarm.sock")

@@ -1,0 +1,148 @@
+"""Daemon behaviour: request/reply over real sockets, batching,
+backpressure, the SHUTDOWN channel, and the thread host's lifecycle."""
+
+import socket
+import time
+
+import pytest
+
+from repro.net import DaemonThread, SocketTransport
+from repro.protocol.framing import (FrameDecoder, FrameKind, encode_frame,
+                                    encode_hello)
+from repro.telemetry import Telemetry
+
+from .conftest import make_daemon, make_report
+
+
+class TestRequestReply:
+    def test_unix_roundtrip_charges_the_server(self, sock_path):
+        daemon = make_daemon()
+        with DaemonThread(daemon, path=sock_path):
+            with SocketTransport.connect_unix(sock_path,
+                                              daemon.codec) as transport:
+                for sequence in range(3):
+                    reply = transport.request(make_report(sequence), 1.0)
+                    assert isinstance(reply, tuple)
+        metrics = daemon.server.metrics
+        assert metrics.uplink_messages == 3
+        assert metrics.uplink_bytes == \
+            3 * daemon.codec.size_of_request(make_report())
+
+    def test_tcp_roundtrip(self):
+        daemon = make_daemon()
+        with DaemonThread(daemon, port=0) as hosted:
+            assert hosted.port is not None
+            with SocketTransport.connect_tcp("127.0.0.1", hosted.port,
+                                             daemon.codec) as transport:
+                transport.request(make_report(), 1.0)
+        assert daemon.server.metrics.uplink_messages == 1
+
+    def test_two_connections_get_distinct_ids(self, sock_path):
+        telemetry = Telemetry.capture()
+        daemon = make_daemon(telemetry=telemetry)
+        with DaemonThread(daemon, path=sock_path):
+            first = SocketTransport.connect_unix(sock_path, daemon.codec)
+            second = SocketTransport.connect_unix(sock_path, daemon.codec)
+            first.request(make_report(0), 1.0)
+            second.request(make_report(0, user_id=2), 1.0)
+            first.close()
+            second.close()
+        opens = [record for record in telemetry.tracer.sink.records
+                 if record["type"] == "net_conn_open"]
+        assert sorted(record["conn"] for record in opens) == [0, 1]
+        assert telemetry.registry.counter(
+            "net_connections_closed").value == 2
+
+
+class TestBatchingAndBackpressure:
+    def test_flood_triggers_backpressure_and_batches(self, sock_path):
+        """A client that writes 64 uplinks before reading anything must
+        fill a queue_limit=2 queue: the reader stalls (recorded), the
+        drain worker batches, and every report is still answered."""
+        telemetry = Telemetry.capture()
+        daemon = make_daemon(telemetry=telemetry, batch_max=8,
+                             queue_limit=2)
+        frames = 64
+        with DaemonThread(daemon, path=sock_path):
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.settimeout(30.0)
+            client.connect(sock_path)
+            stream = [encode_frame(FrameKind.HELLO, encode_hello())]
+            codec = daemon.codec
+            for sequence in range(frames):
+                stream.append(encode_frame(
+                    FrameKind.REQUEST,
+                    codec.encode_request(make_report(sequence)),
+                    float(sequence)))
+            client.sendall(b"".join(stream))
+            decoder = FrameDecoder()
+            replies = 0
+            while replies < frames:
+                chunk = client.recv(1 << 16)
+                assert chunk, "daemon closed before replying to all"
+                replies += sum(frame.kind is FrameKind.REPLY
+                               for frame in decoder.feed(chunk))
+            client.close()
+        assert daemon.server.metrics.uplink_messages == frames
+        registry = telemetry.registry
+        assert registry.counter("net_backpressure_stalls").value >= 1
+        batches = registry.counter("net_batches").value
+        assert 1 <= batches <= frames
+        assert registry.histogram("net_batch_size").count == batches
+
+
+class TestShutdownChannel:
+    def test_shutdown_frame_stops_the_daemon(self, sock_path):
+        daemon = make_daemon()
+        hosted = DaemonThread(daemon, path=sock_path).start()
+        try:
+            with SocketTransport.connect_unix(sock_path,
+                                              daemon.codec) as transport:
+                transport.request(make_report(), 1.0)
+                transport.send_shutdown()
+            deadline = time.monotonic() + 10.0
+            while hosted._thread.is_alive():
+                assert time.monotonic() < deadline, \
+                    "daemon ignored the SHUTDOWN frame"
+                time.sleep(0.01)
+            with pytest.raises(OSError):
+                SocketTransport.connect_unix(sock_path, daemon.codec)
+        finally:
+            hosted.stop()
+
+
+class TestDaemonThreadLifecycle:
+    def test_stop_is_idempotent(self, sock_path):
+        hosted = DaemonThread(make_daemon(), path=sock_path).start()
+        hosted.stop()
+        hosted.stop()
+
+    def test_double_start_is_rejected(self, sock_path):
+        hosted = DaemonThread(make_daemon(), path=sock_path).start()
+        try:
+            with pytest.raises(RuntimeError):
+                hosted.start()
+        finally:
+            hosted.stop()
+
+    def test_startup_failure_surfaces(self, tmp_path):
+        missing = str(tmp_path / "no" / "such" / "dir" / "alarm.sock")
+        hosted = DaemonThread(make_daemon(), path=missing)
+        with pytest.raises(RuntimeError, match="failed to start"):
+            hosted.start()
+
+    def test_stale_socket_file_is_replaced(self, sock_path):
+        with DaemonThread(make_daemon(), path=sock_path):
+            pass
+        # A second daemon binds over whatever the first left behind.
+        daemon = make_daemon()
+        with DaemonThread(daemon, path=sock_path):
+            with SocketTransport.connect_unix(sock_path,
+                                              daemon.codec) as transport:
+                transport.request(make_report(), 1.0)
+
+    def test_daemon_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            make_daemon(batch_max=0)
+        with pytest.raises(ValueError):
+            make_daemon(queue_limit=0)
