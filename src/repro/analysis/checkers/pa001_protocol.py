@@ -19,6 +19,17 @@ PA001 checks, for every class in the ``Request``/``Response`` unions:
 * dead arms are flagged: ``isinstance`` tests or layout entries naming
   message classes outside the unions.
 
+The same contract extends one layer down, to the frame envelope
+(``protocol/framing.py`` vs the socket layer ``net/daemon.py`` /
+``net/sockets.py``):
+
+* every ``FrameKind`` member must be sent or dispatched somewhere in
+  the socket layer — an unreferenced kind is declared dead on arrival;
+* ``FrameKind.X`` references to undeclared members are dead arms;
+* member-named codec helpers come in pairs: an ``encode_<kind>``
+  without its ``decode_<kind>`` (or vice versa) means one peer ships
+  frames the other cannot parse.
+
 Modules are located by path suffix, so the checker runs unchanged over
 ``src/repro`` and the fixture trees.
 """
@@ -116,6 +127,7 @@ class ProtocolExhaustivenessChecker(Checker):
              "handlers and strategies")
 
     def check(self, model: ProjectModel) -> Iterator[Diagnostic]:
+        yield from self._check_framing(model)
         messages = model.find("protocol/messages.py")
         if messages is None:
             return
@@ -133,6 +145,64 @@ class ProtocolExhaustivenessChecker(Checker):
         yield from self._check_handlers(model, messages, requests)
         yield from self._check_strategies(model, messages, responses,
                                           union_names)
+
+    # -- framing.py vs the socket layer --------------------------------
+    def _check_framing(self, model: ProjectModel
+                       ) -> Iterator[Diagnostic]:
+        framing = model.find("protocol/framing.py")
+        if framing is None:
+            return
+        kind_info = framing.classes.get("FrameKind")
+        if kind_info is None or "IntEnum" not in kind_info.bases:
+            return
+        members: Dict[str, ast.stmt] = {}
+        for stmt in kind_info.node.body:
+            if (isinstance(stmt, ast.Assign)
+                    and len(stmt.targets) == 1
+                    and isinstance(stmt.targets[0], ast.Name)):
+                members[stmt.targets[0].id] = stmt
+        socket_modules = [m for m in (model.find("net/daemon.py"),
+                                      model.find("net/sockets.py"))
+                          if m is not None]
+        if not members or not socket_modules:
+            return
+        referenced: Set[str] = set()
+        for module in socket_modules:
+            for node in ast.walk(module.tree):
+                if not (isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "FrameKind"):
+                    continue
+                referenced.add(node.attr)
+                if node.attr not in members:
+                    yield self.diagnostic(
+                        module, node,
+                        "FrameKind.%s is not a declared frame kind "
+                        "(dead dispatch arm)" % node.attr)
+        for name in sorted(members):
+            if name not in referenced:
+                yield self.diagnostic(
+                    framing, members[name],
+                    "frame kind %s is declared but never sent or "
+                    "dispatched in the socket layer (net/daemon.py, "
+                    "net/sockets.py); frames of this kind are dead on "
+                    "arrival" % name)
+            encode = "encode_%s" % name.lower()
+            decode = "decode_%s" % name.lower()
+            encoder = _function(framing, encode)
+            decoder = _function(framing, decode)
+            if encoder is not None and decoder is None:
+                yield self.diagnostic(
+                    framing, encoder,
+                    "framing declares %s but no %s counterpart; one "
+                    "peer ships %s frames the other cannot parse"
+                    % (encode, decode, name))
+            elif decoder is not None and encoder is None:
+                yield self.diagnostic(
+                    framing, decoder,
+                    "framing declares %s but no %s counterpart; one "
+                    "peer ships %s frames the other cannot parse"
+                    % (decode, encode, name))
 
     # -- wire.py -------------------------------------------------------
     def _check_wire(self, model: ProjectModel, messages: ModuleInfo,

@@ -1,0 +1,476 @@
+"""Concurrency view of the project model: call graph, domains, roots.
+
+:class:`ConcurrencyModel` is the layer PA005-PA007 share.  Built once
+per :class:`~repro.analysis.model.ProjectModel` (cached via
+:meth:`ProjectModel.concurrency`), it derives from the function table:
+
+* a **call graph** with sync/async edges.  Each edge records how the
+  callee was resolved (``via``): a plain name, a ``self`` method, a
+  constructor-typed attribute or local, or a constructor call.  Awaited
+  calls are marked so checkers can tell ``await f()`` from a bare
+  ``f()``;
+* **concurrency roots** — the places code enters a domain other than
+  the caller's thread: ``asyncio.create_task``/``ensure_future`` sites,
+  ``threading.Thread(target=...)`` targets (through a ``lambda:
+  asyncio.run(...)`` trampoline too, the ``DaemonThread`` shape),
+  ``run_in_executor``/``pool.submit``/``initializer=`` submissions and
+  ``call_soon_threadsafe`` handoffs — unifying what PA003 resolved ad
+  hoc for process pools;
+* a **domain classification** per function.  Domains: every coroutine
+  (and every sync function transitively called from one by name or via
+  ``self``) runs on the *event loop*; thread targets run in a
+  *thread*; ``run_in_executor``/``ThreadPoolExecutor`` targets in an
+  *executor* thread; ``ProcessPoolExecutor`` targets in a *process*
+  (isolated address space — exempt from shared-memory race analysis,
+  PA003 owns that boundary).  Unclassified functions run wherever the
+  caller runs — the *main* domain by default;
+* **synchronizer typing** — attributes constructed from
+  ``asyncio``/``threading``/``queue``/``multiprocessing`` queue, lock
+  and event classes are recognized handoff points and exempt from race
+  analysis.
+
+Propagation is deliberately narrow: domains flow only along ``name``
+and ``self`` call edges.  Attribute-typed calls cross object
+boundaries where *which instance* matters (the daemon's transport vs
+the client's), which a whole-program classifier cannot see — flowing
+domains through them manufactures false races, so those edges serve
+only reachability walks (PA005), never classification (PA006).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .model import (FunctionInfo, ModuleInfo, ProjectModel,
+                    _terminal_name, own_nodes)
+
+#: A function's identity: (module rel path, qualname).
+FuncKey = Tuple[str, str]
+
+DOMAIN_LOOP = "event-loop"
+DOMAIN_THREAD = "thread"
+DOMAIN_EXECUTOR = "executor"
+DOMAIN_PROCESS = "process"
+DOMAIN_MAIN = "main"
+
+#: Library modules whose constructors type queues/locks/events.
+_SYNC_LIBRARIES = frozenset(
+    {"queue", "asyncio", "threading", "multiprocessing",
+     "concurrent.futures"})
+
+#: Class names recognized as synchronizers (thread-safe handoffs).
+_SYNCHRONIZER_CLASSES = frozenset(
+    {"Queue", "LifoQueue", "PriorityQueue", "SimpleQueue", "Event",
+     "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+     "Barrier"})
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """Best-effort type of a constructed value.
+
+    Either an in-model class (``rel_path`` set) or an external library
+    class (``library`` set, e.g. ``("queue", None, "Queue")``).
+    """
+
+    library: Optional[str]
+    rel_path: Optional[str]
+    class_name: str
+
+    @property
+    def is_synchronizer(self) -> bool:
+        return (self.library in _SYNC_LIBRARIES
+                and self.class_name in _SYNCHRONIZER_CLASSES)
+
+
+@dataclass
+class CallEdge:
+    """One resolved call site: ``caller`` invokes ``callee``."""
+
+    caller: FuncKey
+    callee: FuncKey
+    node: ast.Call
+    #: The call sits directly under an ``await``.
+    awaited: bool
+    #: Resolution route: ``name`` | ``self`` | ``attr`` | ``local``
+    #: | ``constructor``.
+    via: str
+    #: The call's result is discarded (the call *is* an ``Expr``
+    #: statement) — PA007's never-awaited-coroutine signal.
+    discarded: bool = False
+
+
+@dataclass
+class TaskSpawn:
+    """One ``asyncio.create_task``/``ensure_future`` call site."""
+
+    module: ModuleInfo
+    #: Function containing the spawn (``None`` at module level).
+    caller: Optional[FuncKey]
+    node: ast.Call
+    api: str
+
+
+@dataclass
+class ConcurrencyModel:
+    """Call graph, domain classification and roots for one model."""
+
+    model: ProjectModel
+    functions: Dict[FuncKey, FunctionInfo] = field(default_factory=dict)
+    module_of: Dict[FuncKey, ModuleInfo] = field(default_factory=dict)
+    #: Methods grouped by (module rel path, class name).
+    methods: Dict[Tuple[str, str], List[FunctionInfo]] = field(
+        default_factory=dict)
+    calls: Dict[FuncKey, List[CallEdge]] = field(default_factory=dict)
+    #: Classified domains per function; absent means "main".
+    domains: Dict[FuncKey, FrozenSet[str]] = field(default_factory=dict)
+    spawns: List[TaskSpawn] = field(default_factory=list)
+    #: Constructor-derived attribute types per (rel, class, attr).
+    attr_types: Dict[Tuple[str, str, str], TypeRef] = field(
+        default_factory=dict)
+    #: Constructor-derived local types per function.
+    local_types: Dict[FuncKey, Dict[str, TypeRef]] = field(
+        default_factory=dict)
+    #: Synchronizer-typed attribute names per (rel, class).
+    synchronizers: Dict[Tuple[str, str], Set[str]] = field(
+        default_factory=dict)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, model: ProjectModel) -> "ConcurrencyModel":
+        conc = cls(model=model)
+        for module in model.iter_modules():
+            for info in module.all_functions.values():
+                key = (module.rel_path, info.qualname)
+                conc.functions[key] = info
+                conc.module_of[key] = module
+                if info.class_name is not None:
+                    conc.methods.setdefault(
+                        (module.rel_path, info.class_name),
+                        []).append(info)
+        conc._infer_attribute_types()
+        entries: List[Tuple[FuncKey, str]] = []
+        for key in sorted(conc.functions):
+            conc.local_types[key] = conc._infer_local_types(key)
+        for key in sorted(conc.functions):
+            conc._extract_calls_and_roots(key, entries)
+        conc._propagate_domains(entries)
+        return conc
+
+    # -- type inference ------------------------------------------------
+    def constructed_type(self, module: ModuleInfo,
+                         node: ast.expr) -> Optional[TypeRef]:
+        """Type of ``ClassName(...)`` / ``lib.ClassName(...)``, if a
+        class this model (or a known library) declares."""
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in module.classes:
+                return TypeRef(None, module.rel_path, func.id)
+            imported = module.imports.get(func.id)
+            if imported is None:
+                return None
+            dotted, original = imported
+            source = self.model.module_by_name(dotted)
+            if source is not None and original in source.classes:
+                return TypeRef(None, source.rel_path, original)
+            if dotted in _SYNC_LIBRARIES:
+                return TypeRef(dotted, None, original)
+            return None
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id in _SYNC_LIBRARIES):
+            return TypeRef(func.value.id, None, func.attr)
+        return None
+
+    def _infer_attribute_types(self) -> None:
+        ambiguous: Set[Tuple[str, str, str]] = set()
+        for (rel_path, class_name), infos in self.methods.items():
+            module = self.module_of[(rel_path, infos[0].qualname)]
+            for info in infos:
+                for node in own_nodes(info.node):
+                    if not (isinstance(node, ast.Assign)
+                            and len(node.targets) == 1):
+                        continue
+                    target = node.targets[0]
+                    if not (isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"):
+                        continue
+                    ref = self.constructed_type(module, node.value)
+                    if ref is None:
+                        continue
+                    slot = (rel_path, class_name, target.attr)
+                    known = self.attr_types.get(slot)
+                    if known is not None and known != ref:
+                        ambiguous.add(slot)
+                        continue
+                    self.attr_types[slot] = ref
+                    if ref.is_synchronizer:
+                        self.synchronizers.setdefault(
+                            (rel_path, class_name), set()).add(
+                            target.attr)
+        for slot in ambiguous:
+            self.attr_types.pop(slot, None)
+
+    def _infer_local_types(self, key: FuncKey) -> Dict[str, TypeRef]:
+        module = self.module_of[key]
+        func = self.functions[key].node
+        types: Dict[str, TypeRef] = {}
+        for node in own_nodes(func):
+            if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                ref = self.constructed_type(module, node.value)
+                if ref is not None:
+                    types[node.targets[0].id] = ref
+            elif (isinstance(node, ast.withitem)
+                  and isinstance(node.optional_vars, ast.Name)):
+                ref = self.constructed_type(module, node.context_expr)
+                if ref is not None:
+                    types[node.optional_vars.id] = ref
+        return types
+
+    def receiver_type(self, key: FuncKey,
+                      node: ast.expr) -> Optional[TypeRef]:
+        """Type of a call receiver expression inside function ``key``:
+        a constructor-typed local or ``self`` attribute."""
+        if isinstance(node, ast.Name):
+            return self.local_types.get(key, {}).get(node.id)
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            info = self.functions[key]
+            if info.class_name is not None:
+                return self.attr_types.get(
+                    (key[0], info.class_name, node.attr))
+        return None
+
+    # -- call graph + roots --------------------------------------------
+    def _resolve_named_function(self, module: ModuleInfo,
+                                name: str) -> Optional[FuncKey]:
+        """A top-level function ``name`` here or one import hop away."""
+        info = module.all_functions.get(name)
+        if info is not None and info.class_name is None \
+                and "." not in info.qualname:
+            return (module.rel_path, name)
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        source = self.model.module_by_name(imported[0])
+        if source is None:
+            return None
+        target = source.all_functions.get(imported[1])
+        if target is None or target.class_name is not None:
+            return None
+        return (source.rel_path, imported[1])
+
+    def _callable_ref(self, key: FuncKey,
+                      node: ast.expr) -> Optional[FuncKey]:
+        """Resolve a callable *reference* (not a call): a named
+        function or a ``self`` method handed to a spawn API."""
+        module = self.module_of[key]
+        if isinstance(node, ast.Name):
+            return self._resolve_named_function(module, node.id)
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            info = self.functions[key]
+            if info.class_name is None:
+                return None
+            qualname = "%s.%s" % (info.class_name, node.attr)
+            if qualname in module.all_functions:
+                return (key[0], qualname)
+        return None
+
+    def _resolve_call(self, key: FuncKey,
+                      node: ast.Call) -> Optional[Tuple[FuncKey, str]]:
+        module = self.module_of[key]
+        func = node.func
+        if isinstance(func, ast.Name):
+            ctor = self.constructed_type(module, node)
+            if ctor is not None and ctor.rel_path is not None:
+                owner = self.model.modules[ctor.rel_path]
+                init = "%s.__init__" % ctor.class_name
+                if init in owner.all_functions:
+                    return (ctor.rel_path, init), "constructor"
+                return None
+            named = self._resolve_named_function(module, func.id)
+            if named is not None:
+                return named, "name"
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        info = self.functions[key]
+        if (isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and info.class_name is not None):
+            qualname = "%s.%s" % (info.class_name, func.attr)
+            if qualname in module.all_functions:
+                return (key[0], qualname), "self"
+            return None
+        ref = self.receiver_type(key, func.value)
+        if ref is not None and ref.rel_path is not None:
+            owner = self.model.modules[ref.rel_path]
+            qualname = "%s.%s" % (ref.class_name, func.attr)
+            if qualname in owner.all_functions:
+                via = ("local" if isinstance(func.value, ast.Name)
+                       else "attr")
+                return (ref.rel_path, qualname), via
+        return None
+
+    def _extract_calls_and_roots(
+            self, key: FuncKey,
+            entries: List[Tuple[FuncKey, str]]) -> None:
+        module = self.module_of[key]
+        func = self.functions[key].node
+        awaited_ids = {id(node.value) for node in own_nodes(func)
+                       if isinstance(node, ast.Await)}
+        discarded_ids = {id(node.value) for node in own_nodes(func)
+                         if isinstance(node, ast.Expr)}
+        edges: List[CallEdge] = []
+        for node in own_nodes(func):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve_call(key, node)
+            if resolved is not None:
+                callee, via = resolved
+                edges.append(CallEdge(
+                    caller=key, callee=callee, node=node,
+                    awaited=id(node) in awaited_ids, via=via,
+                    discarded=id(node) in discarded_ids))
+            self._extract_roots(key, module, node, entries)
+        if edges:
+            self.calls[key] = edges
+
+    def _extract_roots(self, key: FuncKey, module: ModuleInfo,
+                       node: ast.Call,
+                       entries: List[Tuple[FuncKey, str]]) -> None:
+        name = _terminal_name(node.func)
+        if name in ("create_task", "ensure_future") \
+                and name is not None:
+            self.spawns.append(TaskSpawn(module=module, caller=key,
+                                         node=node, api=name))
+            self._note_entry(key, node.args[:1], DOMAIN_LOOP, entries)
+        elif name == "Thread" and self._is_threading_thread(module,
+                                                            node):
+            for keyword in node.keywords:
+                if keyword.arg == "target":
+                    self._note_thread_target(key, keyword.value,
+                                             entries)
+        elif name == "submit" and isinstance(node.func, ast.Attribute):
+            pool = self.receiver_type(key, node.func.value)
+            domain = (DOMAIN_EXECUTOR
+                      if pool is not None
+                      and pool.class_name == "ThreadPoolExecutor"
+                      else DOMAIN_PROCESS)
+            self._note_entry(key, node.args[:1], domain, entries)
+        elif name == "run_in_executor":
+            self._note_entry(key, node.args[1:2], DOMAIN_EXECUTOR,
+                             entries)
+        elif name in ("call_soon_threadsafe", "call_soon"):
+            self._note_entry(key, node.args[:1], DOMAIN_LOOP, entries)
+        elif name in ("call_later", "call_at"):
+            self._note_entry(key, node.args[1:2], DOMAIN_LOOP, entries)
+        else:
+            ctor = self.constructed_type(module, node)
+            if ctor is not None and ctor.class_name in (
+                    "ProcessPoolExecutor", "ThreadPoolExecutor"):
+                domain = (DOMAIN_EXECUTOR
+                          if ctor.class_name == "ThreadPoolExecutor"
+                          else DOMAIN_PROCESS)
+                for keyword in node.keywords:
+                    if keyword.arg == "initializer":
+                        self._note_entry(key, [keyword.value], domain,
+                                         entries)
+
+    @staticmethod
+    def _is_threading_thread(module: ModuleInfo,
+                             node: ast.Call) -> bool:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return (isinstance(func.value, ast.Name)
+                    and func.value.id == "threading")
+        if isinstance(func, ast.Name):
+            return module.imports.get(func.id, ("", ""))[0] \
+                == "threading"
+        return False
+
+    def _note_entry(self, key: FuncKey, args: Iterable[ast.expr],
+                    domain: str,
+                    entries: List[Tuple[FuncKey, str]]) -> None:
+        for arg in args:
+            # ``create_task(coro())`` hands over the *call*'s function.
+            target = arg.func if isinstance(arg, ast.Call) else arg
+            ref = self._callable_ref(key, target)
+            if ref is not None:
+                entries.append((ref, domain))
+
+    def _note_thread_target(
+            self, key: FuncKey, target: ast.expr,
+            entries: List[Tuple[FuncKey, str]]) -> None:
+        if isinstance(target, ast.Lambda):
+            # The loop-hosting trampoline: ``lambda:
+            # asyncio.run(self._main())`` runs ``_main`` on a fresh
+            # event loop inside the new thread; any other call in the
+            # lambda body runs plainly on the thread.
+            for node in ast.walk(target.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _terminal_name(node.func)
+                if name == "run" and node.args:
+                    self._note_entry(key, node.args[:1], DOMAIN_LOOP,
+                                     entries)
+                elif name is not None:
+                    ref = self._callable_ref(key, node.func)
+                    if ref is not None:
+                        entries.append((ref, DOMAIN_THREAD))
+            return
+        ref = self._callable_ref(key, target)
+        if ref is not None:
+            entries.append((ref, DOMAIN_THREAD))
+
+    # -- domain propagation --------------------------------------------
+    def _propagate_domains(
+            self, entries: List[Tuple[FuncKey, str]]) -> None:
+        working: Dict[FuncKey, Set[str]] = {}
+        for key, info in self.functions.items():
+            if info.is_async:
+                working.setdefault(key, set()).add(DOMAIN_LOOP)
+        for key, domain in entries:
+            if self.functions[key].is_async:
+                continue  # coroutines are loop-domain regardless
+            working.setdefault(key, set()).add(domain)
+        queue = deque(sorted(working))
+        while queue:
+            key = queue.popleft()
+            for edge in self.calls.get(key, []):
+                if edge.via not in ("name", "self"):
+                    continue
+                callee_info = self.functions.get(edge.callee)
+                if callee_info is None or callee_info.is_async:
+                    continue
+                target = working.setdefault(edge.callee, set())
+                added = working[key] - target
+                if added:
+                    target.update(added)
+                    queue.append(edge.callee)
+        self.domains = {key: frozenset(value)
+                        for key, value in working.items()}
+
+    # -- queries -------------------------------------------------------
+    def effective_domains(self, key: FuncKey) -> FrozenSet[str]:
+        """Domains for race analysis: ``main`` when unclassified, and
+        process-pool code excluded (isolated address space)."""
+        classified = self.domains.get(key)
+        if classified is None:
+            return frozenset({DOMAIN_MAIN})
+        shared = classified - {DOMAIN_PROCESS}
+        return frozenset(shared)
+
+    def class_synchronizers(self, rel_path: str,
+                            class_name: str) -> Set[str]:
+        return self.synchronizers.get((rel_path, class_name), set())

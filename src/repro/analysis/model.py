@@ -21,10 +21,17 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List,
+                    Optional, Tuple, Union)
 
 from ..lintkit.pragmas import collect_pragmas
 from ..lintkit.rules.rl004_fork_safety import _module_level_mutables
+
+if TYPE_CHECKING:  # import cycle: concurrency builds on this module
+    from .concurrency import ConcurrencyModel
+
+#: Either def flavor — most model code treats them uniformly.
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 
 class AnalysisError(Exception):
@@ -46,6 +53,59 @@ class ClassInfo:
 
 
 @dataclass
+class FunctionInfo:
+    """One function or method, with its concurrency-relevant facts.
+
+    Collected for *every* def in a module — module level, methods,
+    nested — unlike :attr:`ModuleInfo.functions`, which keeps only the
+    module-level sync defs the original resolvers were built around.
+    """
+
+    #: Dotted position in the module (``AlarmDaemon.aclose``,
+    #: ``outer.inner`` for nested defs).
+    qualname: str
+    name: str
+    node: AnyFunctionDef
+    #: Immediately-enclosing class name, ``None`` outside class bodies.
+    class_name: Optional[str]
+    is_async: bool
+    #: Suspension points (``await`` / ``async for`` / ``async with``)
+    #: in source order, excluding nested defs — ``()`` for sync defs.
+    awaits: Tuple[Tuple[int, int], ...]
+
+
+def own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``func``'s own body, not descending into nested defs.
+
+    The concurrency analyses ask "what does *this* function do when
+    called"; statements inside a nested ``def``/``lambda`` only run
+    when the nested callable is invoked, so they belong to the nested
+    function's own entry in the model.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def await_points(func: AnyFunctionDef) -> Tuple[Tuple[int, int], ...]:
+    """Positions of every suspension point in ``func``, source order.
+
+    ``await`` expressions plus ``async for`` / ``async with`` headers;
+    suspension points inside nested defs belong to the nested def.
+    """
+    points = [(node.lineno, node.col_offset)
+              for node in own_nodes(func)
+              if isinstance(node, (ast.Await, ast.AsyncFor,
+                                   ast.AsyncWith))]
+    return tuple(sorted(points))
+
+
+@dataclass
 class ModuleInfo:
     """Everything the model knows about one parsed module."""
 
@@ -61,6 +121,9 @@ class ModuleInfo:
     classes: Dict[str, ClassInfo] = field(default_factory=dict)
     #: Module-level functions by name.
     functions: Dict[str, ast.FunctionDef] = field(default_factory=dict)
+    #: Every def in the module (methods and nested defs included),
+    #: keyed by qualname — the concurrency checkers' function table.
+    all_functions: Dict[str, FunctionInfo] = field(default_factory=dict)
     #: Module-level ``NAME = "literal"`` string constants.
     constants: Dict[str, str] = field(default_factory=dict)
     #: ``from X import a as b`` edges: local name -> (dotted source
@@ -151,6 +214,7 @@ class ProjectModel:
         self.modules = modules
         self._by_name: Dict[str, ModuleInfo] = {
             info.name: info for info in modules.values()}
+        self._concurrency: Optional["ConcurrencyModel"] = None
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -202,7 +266,30 @@ class ProjectModel:
                 cls._record_constant(info, stmt)
             elif isinstance(stmt, ast.ImportFrom):
                 cls._record_import(info, stmt, package, root.name)
+        cls._collect_functions(info, tree.body, prefix="",
+                               class_name=None)
         return info
+
+    @classmethod
+    def _collect_functions(cls, info: ModuleInfo,
+                           body: List[ast.stmt], prefix: str,
+                           class_name: Optional[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = prefix + stmt.name
+                info.all_functions[qualname] = FunctionInfo(
+                    qualname=qualname, name=stmt.name, node=stmt,
+                    class_name=class_name,
+                    is_async=isinstance(stmt, ast.AsyncFunctionDef),
+                    awaits=await_points(stmt))
+                # Nested defs are plain closures, not methods.
+                cls._collect_functions(info, stmt.body,
+                                       prefix=qualname + ".",
+                                       class_name=None)
+            elif isinstance(stmt, ast.ClassDef):
+                cls._collect_functions(info, stmt.body,
+                                       prefix=prefix + stmt.name + ".",
+                                       class_name=stmt.name)
 
     @staticmethod
     def _record_constant(info: ModuleInfo, stmt: ast.Assign) -> None:
@@ -258,6 +345,17 @@ class ProjectModel:
             if info.display_path == display_path:
                 return info
         return None
+
+    def concurrency(self) -> "ConcurrencyModel":
+        """The (cached) concurrency view: call graph, domains, roots.
+
+        Built lazily so trees analyzed only by the structural checkers
+        never pay for it, and cached so PA005-PA007 share one build.
+        """
+        if self._concurrency is None:
+            from .concurrency import ConcurrencyModel
+            self._concurrency = ConcurrencyModel.build(self)
+        return self._concurrency
 
     # -- cross-module resolution ---------------------------------------
     def resolve_function(self, module: ModuleInfo, name: str

@@ -1,6 +1,6 @@
 """Planar geometry substrate: points, rectangles, rectilinear regions."""
 
-from .eps import EPS, feq, fzero
+from .eps import EPS, feq, feq_exact, fzero, fzero_exact
 from .point import ORIGIN, Point, normalize_angle
 from .polygon import RectilinearRegion, region_from_rect_minus_holes
 from .rect import Rect, total_disjoint_area
@@ -12,7 +12,9 @@ __all__ = [
     "Rect",
     "RectilinearRegion",
     "feq",
+    "feq_exact",
     "fzero",
+    "fzero_exact",
     "normalize_angle",
     "region_from_rect_minus_holes",
     "total_disjoint_area",

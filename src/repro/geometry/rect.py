@@ -14,6 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional, Tuple
 
+from .eps import fzero_exact
 from .point import Point
 
 
@@ -119,7 +120,7 @@ class Rect:
         from bit-identical coordinates (:meth:`point_rect`, zero-extent
         ``from_center``), never approximated into existence.
         """
-        return self.width == 0.0 or self.height == 0.0  # lint: allow=RL002
+        return fzero_exact(self.width) or fzero_exact(self.height)
 
     # ------------------------------------------------------------------
     # Predicates

@@ -6,9 +6,12 @@ distance sums), so two semantically equal floats routinely differ in
 their last bits.  ``==``/``!=`` between float expressions silently
 encodes "bit-identical", which is almost never the intended predicate.
 Use :func:`repro.geometry.eps.feq` / :func:`~repro.geometry.eps.fzero`
-instead, or — where exact-zero is semantically intended, e.g. the
-degenerate-rect check — keep ``==`` under ``# lint: allow=RL002`` with
-a justification.
+instead, or — where exact comparison is semantically intended, e.g.
+the degenerate-rect check — :func:`~repro.geometry.eps.feq_exact` /
+:func:`~repro.geometry.eps.fzero_exact`, which name the intent and
+live in the one exempt module.  The ``# lint: allow=RL002`` pragma
+remains the last resort, tracked by the PA004 debt ratchet (currently
+at zero).
 
 Detection is conservative (no false positives on int comparisons): a
 comparison is flagged only when one operand is a float *literal*, or
@@ -98,8 +101,8 @@ class FloatEqualityRule(LintRule):
                     yield self.diagnostic(
                         ctx, node,
                         "exact float %s comparison; use feq/fzero from "
-                        "repro.geometry.eps (or justify exact-zero with "
-                        "'# lint: allow=RL002')"
+                        "repro.geometry.eps (or feq_exact/fzero_exact "
+                        "where bit-identity is the contract)"
                         % ("==" if isinstance(op, ast.Eq) else "!="))
 
     @staticmethod

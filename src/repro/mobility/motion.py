@@ -41,6 +41,7 @@ import random
 from typing import List
 
 from ..geometry import normalize_angle
+from ..geometry.eps import feq_exact, fzero_exact
 
 TWO_PI = 2.0 * math.pi
 
@@ -99,7 +100,7 @@ class UniformMotionModel(MotionModel):
         # multiple of 2*pi).  An epsilon test would misread a genuinely
         # tiny sector (span within eps of 0 or 2*pi) as the whole
         # circle, turning a near-zero mass into 1.
-        if span == 0.0 and end != start:  # lint: allow=RL002
+        if fzero_exact(span) and not feq_exact(end, start):
             span = TWO_PI
         return span / TWO_PI
 
@@ -204,7 +205,7 @@ class SteadyMotionModel(MotionModel):
         # the endpoints coincide bit-for-bit.  ``end`` infinitesimally
         # *below* ``start`` is a full-circle wrap (mass ~1), so an
         # epsilon test here would collapse near-full sectors to zero.
-        if end == start:  # lint: allow=RL002
+        if feq_exact(end, start):
             return 0.0
         # The CCW sector wraps through +pi/-pi; split at the seam.
         half = self._half_mass(math.pi)

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import queue
 import stat
 import threading
 import time
@@ -45,8 +46,7 @@ from ..protocol.handlers import ServerPolicy
 from ..protocol.messages import Request, downlink_kind
 from ..protocol.transport import InProcessTransport
 from ..protocol.wire import WireCodec
-from ..sanitize import DISABLED as SANITIZER_OFF
-from ..sanitize import Sanitizer
+from ..sanitize import LOOP_WATCHDOG_INTERVAL_S, Sanitizer
 from ..engine.server import AlarmServer
 
 #: Socket read size; large enough to complete many frames per wakeup.
@@ -57,6 +57,11 @@ _SENTINEL = None
 
 #: One queued uplink: (envelope simulation time, decoded request).
 _QueuedRequest = Tuple[float, Request]
+
+#: DaemonThread startup handshake: (running loop, bound TCP port,
+#: startup error) — exactly one of loop/error is non-None.
+_Handshake = Tuple[Optional[asyncio.AbstractEventLoop], Optional[int],
+                   Optional[BaseException]]
 
 
 class AlarmDaemon:
@@ -84,11 +89,15 @@ class AlarmDaemon:
         self.codec = self._accounting.codec
         self.batch_max = batch_max
         self.queue_limit = queue_limit
+        # None consults REPRO_SANITIZE, so a sanitized test run (or
+        # `repro serve` under the env flag) gets the loop watchdog
+        # without every construction site threading the flag through.
         self._sanitizer = sanitizer if sanitizer is not None \
-            else SANITIZER_OFF
+            else Sanitizer.resolve(None)
         self._asyncio_server: Optional[asyncio.AbstractServer] = None
         self._stop_event: Optional[asyncio.Event] = None
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
+        self._watchdog: Optional["asyncio.Task[None]"] = None
         self._next_conn_id = 0
 
     # ------------------------------------------------------------------
@@ -117,6 +126,9 @@ class AlarmDaemon:
         if self._asyncio_server is not None:
             raise RuntimeError("daemon is already serving")
         self._stop_event = asyncio.Event()
+        if self._sanitizer.enabled and self._watchdog is None:
+            self._watchdog = asyncio.create_task(
+                self._stall_watchdog())
 
     def request_stop(self) -> None:
         """Ask the daemon to stop (loop-thread only; idempotent).
@@ -141,6 +153,7 @@ class AlarmDaemon:
         """Stop listening and cancel live connections (idempotent)."""
         server = self._asyncio_server
         if server is None:
+            await self._close_watchdog()
             return
         self._asyncio_server = None
         server.close()
@@ -150,6 +163,55 @@ class AlarmDaemon:
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks,
                                  return_exceptions=True)
+        await self._close_watchdog()
+        if self._sanitizer.enabled:
+            self._sanitizer.check_task_leaks(self._pending_task_names())
+            self._sanitizer.check_loop_health()
+
+    async def _stall_watchdog(self) -> None:
+        """Sample event-loop responsiveness while serving.
+
+        Each wakeup measures how late a periodic ``asyncio.sleep``
+        fired; the worst delay is reported to the sanitizer, whose
+        ``check_loop_health`` fails the run at close if any callback
+        held the loop past the stall threshold — the runtime shadow of
+        the PA005 no-blocking-calls contract.  Only spawned when the
+        sanitizer is on; cancelled (and awaited) by :meth:`aclose`.
+        """
+        interval = LOOP_WATCHDOG_INTERVAL_S
+        while True:
+            before = time.perf_counter()
+            await asyncio.sleep(interval)
+            lag = time.perf_counter() - before - interval
+            self._sanitizer.note_loop_lag(lag)
+
+    async def _close_watchdog(self) -> None:
+        if self._watchdog is None:
+            return
+        self._watchdog.cancel()
+        try:
+            await self._watchdog
+        except asyncio.CancelledError:
+            pass
+        self._watchdog = None
+
+    def _pending_task_names(self) -> List[str]:
+        """Coroutine names of unfinished daemon-owned tasks.
+
+        Run after :meth:`aclose` has cancelled and gathered everything
+        it tracks: any task whose coroutine lives in this module and is
+        still pending escaped the ``_conn_tasks``/watchdog registries —
+        the runtime shadow of the PA007 task-lifecycle contract.
+        """
+        current = asyncio.current_task()
+        names: List[str] = []
+        for task in asyncio.all_tasks():
+            if task is current or task.done():
+                continue
+            code = getattr(task.get_coro(), "cr_code", None)
+            if code is not None and code.co_filename == __file__:
+                names.append(code.co_name)
+        return names
 
     # ------------------------------------------------------------------
     # Per-connection reader
@@ -346,8 +408,12 @@ class DaemonThread:
         self._requested_port = port
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
-        self._startup_error: Optional[BaseException] = None
-        self._started = threading.Event()
+        # Startup handshake: the loop thread publishes (loop, port,
+        # error) exactly once; start() consumes it and performs every
+        # attribute write itself, so no instance state is mutated from
+        # two threads (PA006's hand-off-through-a-queue discipline).
+        self._handshake: "queue.Queue[_Handshake]" = \
+            queue.Queue(maxsize=1)
 
     def start(self) -> "DaemonThread":
         if self._thread is not None:
@@ -356,26 +422,30 @@ class DaemonThread:
             target=lambda: asyncio.run(self._main()),
             name="repro-alarm-daemon", daemon=True)
         self._thread.start()
-        if not self._started.wait(timeout=30.0):
-            raise RuntimeError("daemon thread failed to start in time")
-        if self._startup_error is not None:
-            raise RuntimeError("daemon failed to start: %s"
-                               % self._startup_error)
+        try:
+            loop, port, error = self._handshake.get(timeout=30.0)
+        except queue.Empty:
+            raise RuntimeError(
+                "daemon thread failed to start in time") from None
+        if error is not None:
+            raise RuntimeError("daemon failed to start: %s" % error)
+        self._loop = loop
+        self.port = port
         return self
 
     async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        port: Optional[int] = None
         try:
-            self._loop = asyncio.get_running_loop()
             if self.path is not None:
                 await self.daemon.start_unix(self.path)
             else:
-                self.port = await self.daemon.start_tcp(
+                port = await self.daemon.start_tcp(
                     self.host, self._requested_port)
         except BaseException as exc:  # surfaced to start()
-            self._startup_error = exc
-            self._started.set()
+            self._handshake.put_nowait((None, None, exc))
             return
-        self._started.set()
+        self._handshake.put_nowait((loop, port, None))
         await self.daemon.serve_until_stopped()
 
     def stop(self) -> None:

@@ -17,6 +17,16 @@ installs four invariant checks at simulation start:
   recomputed under a different fold order and compared, spot-checking
   the :meth:`~repro.engine.metrics.Metrics.merged` contract.
 
+A sanitized :class:`~repro.net.daemon.AlarmDaemon` carries two more,
+mirroring the static concurrency checkers at runtime:
+
+* **event-loop stall monitor** (PA005's shadow) — a watchdog task
+  measures how late periodic sleeps wake; a delay past
+  :data:`LOOP_STALL_THRESHOLD_S` fails the run at ``aclose()``;
+* **task-leak check** (PA007's shadow) — after ``aclose()`` cancels
+  and gathers every tracked task, any daemon-owned task still pending
+  is a spawn that escaped the registry, and raises.
+
 Off by default and free when off: the engines hold the shared
 :data:`DISABLED` singleton and guard every site with one
 ``sanitizer.enabled`` attribute test — the same pattern (and the same
@@ -41,6 +51,16 @@ SANITIZE_ENV = "REPRO_SANITIZE"
 #: One alarm's geometry, flattened for snapshot comparison.
 _GeometryRow = Tuple[int, float, float, float, float]
 
+#: A watchdog sleep waking this much late (seconds) means some
+#: callback or coroutine step blocked the event loop — the runtime
+#: shadow of the PA005 static contract.  Generous on purpose: CI boxes
+#: jitter, but a blocking socket read or ``time.sleep`` blows well
+#: past half a second.
+LOOP_STALL_THRESHOLD_S = 0.5
+
+#: How often the daemon's watchdog samples loop responsiveness.
+LOOP_WATCHDOG_INTERVAL_S = 0.05
+
 
 class SanitizerError(AssertionError):
     """A runtime invariant the sanitizer guards was violated."""
@@ -55,13 +75,14 @@ class Sanitizer:
     environment) says off.
     """
 
-    __slots__ = ("_clocks", "_geometry")
+    __slots__ = ("_clocks", "_geometry", "_worst_lag")
 
     enabled = True
 
     def __init__(self) -> None:
         self._clocks: Dict[int, float] = {}
         self._geometry: Optional[Tuple[_GeometryRow, ...]] = None
+        self._worst_lag = 0.0
 
     @staticmethod
     def resolve(flag: Optional[bool] = None) -> "Sanitizer":
@@ -142,6 +163,42 @@ class Sanitizer:
                 "byte(s) but the transport charged %d"
                 % (direction, payload_bytes, charged_bytes))
 
+    def note_loop_lag(self, lag_s: float) -> None:
+        """Record one watchdog wakeup delay (worst value is kept)."""
+        if lag_s > self._worst_lag:
+            self._worst_lag = lag_s
+
+    def check_loop_health(self) -> None:
+        """Assert no callback stalled the event loop past threshold.
+
+        The daemon's watchdog task measures how late periodic
+        ``asyncio.sleep`` wakeups arrive; a wakeup delayed past
+        :data:`LOOP_STALL_THRESHOLD_S` means some callback held the
+        loop that long — the runtime counterpart of the PA005
+        blocking-call-in-async contract.
+        """
+        if self._worst_lag > LOOP_STALL_THRESHOLD_S:
+            raise SanitizerError(
+                "event loop stalled for %.3fs (threshold %.3fs): a "
+                "callback or coroutine blocked the loop instead of "
+                "awaiting or deferring to an executor"
+                % (self._worst_lag, LOOP_STALL_THRESHOLD_S))
+
+    def check_task_leaks(self, pending: Sequence[str]) -> None:
+        """Assert the daemon is not abandoning live tasks at close.
+
+        ``pending`` names the daemon-owned tasks still unfinished
+        after ``aclose()`` cancelled and gathered everything it
+        tracks — the runtime counterpart of the PA007 task-lifecycle
+        contract (a non-empty list means a spawn escaped the
+        registry).
+        """
+        if pending:
+            raise SanitizerError(
+                "task leak at daemon close: %d daemon task(s) still "
+                "pending: %s" % (len(pending),
+                                 ", ".join(sorted(pending))))
+
     def check_merge(self, parts: Sequence["Metrics"],
                     merged: "Metrics") -> None:
         """Spot-check the metrics merge: fold order must not matter."""
@@ -185,6 +242,15 @@ class _DisabledSanitizer(Sanitizer):
 
     def check_frame(self, direction: str, payload_bytes: int,
                     charged_bytes: int) -> None:
+        return
+
+    def note_loop_lag(self, lag_s: float) -> None:
+        return
+
+    def check_loop_health(self) -> None:
+        return
+
+    def check_task_leaks(self, pending: Sequence[str]) -> None:
         return
 
     def check_merge(self, parts: Sequence["Metrics"],

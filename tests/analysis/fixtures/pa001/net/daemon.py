@@ -1,0 +1,15 @@
+"""PA001 fixture daemon: dispatches frames, one arm for a ghost kind."""
+
+from ..protocol.framing import FrameKind, encode_error, encode_frame
+
+
+def handle(frame, writer):
+    if frame.kind is FrameKind.HELLO:
+        return True
+    if frame.kind is FrameKind.REQUEST:
+        writer.write(encode_frame(FrameKind.REPLY, frame.payload))
+        return True
+    if frame.kind is FrameKind.RESET:  # no such frame kind declared
+        return False
+    writer.write(encode_frame(FrameKind.ERROR, encode_error("bad")))
+    return False

@@ -1,0 +1,19 @@
+"""PA001 fixture client socket half: sends HELLO, reads replies."""
+
+from ..protocol.framing import FrameKind, encode_frame, encode_hello
+
+
+def connect(sock):
+    sock.sendall(encode_frame(FrameKind.HELLO, encode_hello()))
+
+
+def exchange(sock, payload):
+    sock.sendall(encode_frame(FrameKind.REQUEST, payload))
+    frame = read_frame(sock)
+    if frame.kind is FrameKind.ERROR:
+        raise ValueError(frame.payload)
+    return frame
+
+
+def read_frame(sock):
+    return sock.recv(1 << 16)

@@ -1,0 +1,27 @@
+"""PA001 fixture framing: one dead kind, one unpaired encoder."""
+
+from enum import IntEnum
+
+
+class FrameKind(IntEnum):
+    HELLO = 1
+    REQUEST = 2
+    REPLY = 3
+    PUSH = 4      # never sent or dispatched by the socket layer
+    ERROR = 5
+
+
+def encode_frame(kind, payload):
+    return bytes([kind]) + payload
+
+
+def encode_hello():
+    return b"v1"
+
+
+def decode_hello(payload):
+    return payload
+
+
+def encode_error(reason):  # no decode_error counterpart
+    return reason.encode("utf-8")

@@ -1,0 +1,17 @@
+"""PA005 fixture helpers: blocking work two frames from the loop."""
+
+
+def load_config(path):
+    with open(path) as handle:  # blocking file I/O, reached from async
+        return handle.read()
+
+
+def checksum(path):
+    return len(load_config(path))
+
+
+def slow_square(x):
+    import time
+
+    time.sleep(0.01)  # fine: only ever run inside an executor
+    return x * x

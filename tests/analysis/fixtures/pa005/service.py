@@ -1,0 +1,52 @@
+"""PA005 fixture service: every blocking shape reachable from a loop.
+
+Six findings: a direct ``time.sleep``, a blocking socket ``recv``, a
+transitive ``open()`` two sync frames down, a ``queue.Queue.get`` on a
+constructor-typed attribute, a ``subprocess.run`` inside a
+``call_soon`` callback, and a ``Path.read_text``.  The
+``run_in_executor`` hand-off at the bottom is the sanctioned escape
+and must stay clean.
+"""
+
+import asyncio
+import queue
+import subprocess
+import time
+
+from .helpers import checksum, slow_square
+
+
+class Service:
+    def __init__(self):
+        self._jobs = queue.Queue()
+
+    async def poll(self):
+        time.sleep(0.5)  # direct blocking sleep on the loop
+        return self._jobs.qsize()
+
+    async def take(self):
+        return self._jobs.get()  # blocking queue read on the loop
+
+    async def pump(self, sock):
+        return sock.recv(4096)  # blocking socket read on the loop
+
+
+async def audit(path):
+    return checksum(path)  # open() two frames down
+
+
+async def manifest(path):
+    return path.read_text()  # blocking file read on the loop
+
+
+def flush(log):
+    subprocess.run(["sync"], check=False)  # blocks the loop callback
+    return log
+
+
+def schedule(loop, log):
+    loop.call_soon(flush, log)
+
+
+async def offload(loop, x):
+    return await loop.run_in_executor(None, slow_square, x)

@@ -1,0 +1,91 @@
+"""PA006 fixture: cross-domain shared state and await-atomicity.
+
+Five findings: a counter written from a worker thread and read on the
+loop, a read-modify-write on an attribute spanning an await, a module
+global written from loop code and read from the main domain, an
+augmented RMW whose right-hand side awaits, and an attribute written
+from two different domains.  The ``Handoff`` class at the bottom moves
+data through an ``asyncio.Queue`` and must stay clean.
+"""
+
+import asyncio
+import threading
+
+#: Module-level cache: written by the loop, read by main-domain code.
+RESULTS = {}
+
+
+class ThreadCounter:
+    """Worker thread bumps the count; the loop side reads it."""
+
+    def __init__(self):
+        self.count = 0
+        self._worker = None
+
+    def start(self):
+        self._worker = threading.Thread(target=self._work)
+        self._worker.start()
+
+    def _work(self):
+        self.count += 1  # thread-domain write, loop-domain read
+
+    async def report(self):
+        return self.count
+
+
+class SlowAccumulator:
+    """Classic lost update: the write derives from a pre-await read."""
+
+    def __init__(self):
+        self.total = 0
+
+    async def _fetch(self):
+        await asyncio.sleep(0)
+        return 1
+
+    async def bump(self):
+        snapshot = self.total
+        extra = await self._fetch()
+        self.total = snapshot + extra  # stale by the time it lands
+
+    async def bump_augmented(self):
+        self.total += await self._fetch()  # RMW spanning the await
+
+
+async def record(key, value):
+    RESULTS[key] = value  # loop-domain write
+
+
+def summarize():
+    return len(RESULTS)  # main-domain read of the loop-written dict
+
+
+class DualWriter:
+    """The same attribute is rebound from two concurrency domains."""
+
+    def __init__(self):
+        self.status = "idle"
+        self._poker = None
+
+    def launch(self):
+        self._poker = threading.Thread(target=self._poke)
+        self._poker.start()
+
+    def _poke(self):
+        self.status = "thread"  # thread-domain write ...
+
+    async def refresh(self):
+        self.status = "loop"  # ... and a loop-domain write
+
+
+class Handoff:
+    """The sanctioned pattern: cross-domain data rides a queue."""
+
+    def __init__(self):
+        self._inbox = asyncio.Queue()
+
+    def offer(self, item):
+        self._inbox.put_nowait(item)
+
+    async def next_item(self):
+        return await self._inbox.get()

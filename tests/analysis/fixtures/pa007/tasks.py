@@ -1,0 +1,60 @@
+"""PA007 fixture: task-lifecycle leaks, with the sanctioned shapes.
+
+Five findings: a discarded ``create_task`` result, a task handle bound
+to a local and never touched again, a task stored on an attribute no
+method of the class ever awaits or cancels, a bare coroutine call
+whose object is dropped unawaited, and a discarded ``ensure_future``.
+``GoodOwner`` and ``gather_batch`` show the retained shapes and must
+stay clean.
+"""
+
+import asyncio
+
+
+async def work():
+    await asyncio.sleep(0)
+
+
+async def fire_and_forget():
+    asyncio.create_task(work())  # handle dropped on the floor
+
+
+async def bind_and_leak():
+    pending = asyncio.create_task(work())  # bound, never used again
+    await asyncio.sleep(0)
+
+
+class LeakyOwner:
+    def spawn(self):
+        self._task = asyncio.create_task(work())  # nobody joins it
+
+
+async def skip_await():
+    work()  # builds a coroutine object; the body never runs
+
+
+async def ensure_and_drop():
+    asyncio.ensure_future(work())  # same leak, older spelling
+
+
+class GoodOwner:
+    def spawn(self):
+        self._task = asyncio.create_task(work())
+
+    async def aclose(self):
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+
+
+async def gather_batch():
+    first = asyncio.create_task(work())
+    second = asyncio.create_task(work())
+    await asyncio.gather(first, second)
+
+
+async def await_directly():
+    handle = asyncio.create_task(work())
+    return await handle

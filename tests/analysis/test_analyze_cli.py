@@ -17,7 +17,8 @@ class TestExitCodes:
         assert "0 problem(s)" in capsys.readouterr().out
 
     @pytest.mark.parametrize("checker_id",
-                             ["PA001", "PA002", "PA003", "PA004"])
+                             ["PA001", "PA002", "PA003", "PA004",
+                              "PA005", "PA006", "PA007"])
     def test_fixture_exits_with_findings(self, checker_id, capsys):
         root = str(FIXTURES / checker_id.lower())
         assert main(["analyze", root, "--rule", checker_id]) == 1
@@ -44,7 +45,8 @@ class TestListRules:
     def test_lists_all_checkers(self, capsys):
         assert main(["analyze", "--list-rules"]) == 0
         out = capsys.readouterr().out
-        for checker_id in ("PA001", "PA002", "PA003", "PA004"):
+        for checker_id in ("PA001", "PA002", "PA003", "PA004",
+                           "PA005", "PA006", "PA007"):
             assert checker_id in out
 
 
@@ -53,7 +55,7 @@ class TestFormats:
         assert main(["analyze", FIXTURE, "--rule", "PA001",
                      "--format", "json"]) == 1
         payload = json.loads(capsys.readouterr().out)
-        assert payload["counts"]["PA001"] == 7
+        assert payload["counts"]["PA001"] == 10
         assert all(diag["rule"] == "PA001"
                    for diag in payload["diagnostics"])
 
@@ -67,8 +69,9 @@ class TestFormats:
         # The full catalogue is listed, not just the fired rules.
         rule_ids = [rule["id"]
                     for rule in run["tool"]["driver"]["rules"]]
-        assert rule_ids == ["PA001", "PA002", "PA003", "PA004"]
-        assert len(run["results"]) == 7
+        assert rule_ids == ["PA001", "PA002", "PA003", "PA004",
+                            "PA005", "PA006", "PA007"]
+        assert len(run["results"]) == 10
         first = run["results"][0]
         assert first["ruleId"] == "PA001"
         assert first["level"] == "error"

@@ -13,14 +13,18 @@ from repro.analysis import (ALL_CHECKERS, ProjectModel, get_checker,
                             run_analysis)
 from repro.analysis.checkers.pa004_debt import count_pragmas, find_ledger
 
-CHECKER_IDS = ["PA001", "PA002", "PA003", "PA004"]
+CHECKER_IDS = ["PA001", "PA002", "PA003", "PA004", "PA005", "PA006",
+               "PA007"]
 
 #: Expected diagnostic count per fixture tree (one per seeded shape).
 EXPECTED_FIXTURE_COUNTS = {
-    "PA001": 7,
+    "PA001": 10,
     "PA002": 6,
     "PA003": 3,
     "PA004": 2,
+    "PA005": 6,
+    "PA006": 5,
+    "PA007": 5,
 }
 
 
@@ -63,6 +67,15 @@ class TestPA001:
         assert "dead arm" in joined                # non-union dispatch
         assert "does not dispatch request" in joined
         assert "never isinstance-checks" in joined  # unconsumed install
+
+    def test_names_every_framing_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa001"), "PA001")]
+        joined = "\n".join(messages)
+        assert "frame kind PUSH is declared but never sent" in joined
+        assert "FrameKind.RESET is not a declared frame kind" in joined
+        assert ("encode_error but no decode_error counterpart"
+                in joined)
 
 
 class TestPA002:
@@ -148,6 +161,74 @@ class TestPA004:
                               checker_classes=[get_checker("PA004")],
                               debt_path=ledger)
         assert report.ok
+
+
+class TestPA005:
+    def test_names_every_blocking_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa005"), "PA005")]
+        joined = "\n".join(messages)
+        assert "blocking time.sleep()" in joined
+        assert "blocking queue.Queue.get()" in joined
+        assert "blocking .recv()" in joined
+        assert "blocking .read_text()" in joined
+        assert "blocking subprocess.run()" in joined
+        assert "blocking builtin open()" in joined
+
+    def test_transitive_site_carries_the_call_chain(self, fixture_root):
+        diagnostics = _run(fixture_root("pa005"), "PA005")
+        transitive = [d for d in diagnostics
+                      if d.path.endswith("helpers.py")]
+        assert len(transitive) == 1
+        assert "coroutine 'audit' via checksum() -> load_config()" \
+            in transitive[0].message
+
+    def test_executor_wrapped_call_is_exempt(self, fixture_root):
+        """``slow_square`` blocks, but only ever runs in an executor."""
+        messages = [d.message
+                    for d in _run(fixture_root("pa005"), "PA005")]
+        assert not any("slow_square" in m for m in messages)
+
+
+class TestPA006:
+    def test_names_every_race_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa006"), "PA006")]
+        joined = "\n".join(messages)
+        assert ("'count' of class ThreadCounter is written from the "
+                "thread domain") in joined
+        assert "read-modify-write on self.total" in joined
+        assert "'SlowAccumulator.bump'" in joined
+        assert "'SlowAccumulator.bump_augmented'" in joined
+        assert "module-level mutable 'RESULTS'" in joined
+        assert "'status' of class DualWriter" in joined
+
+    def test_queue_handoff_is_exempt(self, fixture_root):
+        """``Handoff._inbox`` crosses domains through asyncio.Queue."""
+        messages = [d.message
+                    for d in _run(fixture_root("pa006"), "PA006")]
+        assert not any("_inbox" in m or "Handoff" in m
+                       for m in messages)
+
+
+class TestPA007:
+    def test_names_every_lifecycle_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa007"), "PA007")]
+        joined = "\n".join(messages)
+        assert "create_task() result is discarded" in joined
+        assert "ensure_future() result is discarded" in joined
+        assert "task handle 'pending' from create_task()" in joined
+        assert ("task stored on self._task is never awaited or "
+                "cancelled anywhere in class LeakyOwner") in joined
+        assert "coroutine 'work' is called but never awaited" in joined
+
+    def test_joined_shapes_are_exempt(self, fixture_root):
+        """GoodOwner, gather_batch and await_directly retain handles."""
+        diagnostics = _run(fixture_root("pa007"), "PA007")
+        lines = {d.line for d in diagnostics}
+        assert len(diagnostics) == 5
+        assert all(line < 39 for line in lines)  # all in the bad half
 
 
 class TestSuppression:

@@ -15,7 +15,8 @@ from repro.engine import (Metrics, run_interleaved_simulation,
                           run_parallel_simulation, run_simulation)
 from repro.engine.metrics import TriggerEvent
 from repro.protocol.transport import InProcessTransport
-from repro.sanitize import DISABLED, Sanitizer, SanitizerError
+from repro.sanitize import (DISABLED, LOOP_STALL_THRESHOLD_S, Sanitizer,
+                            SanitizerError)
 from repro.strategies import PeriodicStrategy
 from ..strategies.conftest import make_world
 
@@ -132,6 +133,36 @@ class TestMerge:
         Sanitizer().check_merge(parts, Metrics.merged(parts))
 
 
+class TestLoopHealth:
+    def test_fresh_sanitizer_is_healthy(self):
+        Sanitizer().check_loop_health()
+
+    def test_sub_threshold_lag_is_fine(self):
+        sanitizer = Sanitizer()
+        sanitizer.note_loop_lag(LOOP_STALL_THRESHOLD_S / 10)
+        sanitizer.check_loop_health()
+
+    def test_stall_raises_with_the_worst_lag(self):
+        sanitizer = Sanitizer()
+        sanitizer.note_loop_lag(0.01)
+        sanitizer.note_loop_lag(4 * LOOP_STALL_THRESHOLD_S)
+        sanitizer.note_loop_lag(0.02)  # worst value is kept
+        with pytest.raises(SanitizerError, match="stalled for 2.000s"):
+            sanitizer.check_loop_health()
+
+
+class TestTaskLeaks:
+    def test_no_pending_tasks_is_clean(self):
+        Sanitizer().check_task_leaks([])
+
+    def test_pending_tasks_raise_with_names(self):
+        with pytest.raises(SanitizerError,
+                           match=r"2 daemon task\(s\) still pending: "
+                                 r"_drain_queue, _stall_watchdog"):
+            Sanitizer().check_task_leaks(
+                ["_stall_watchdog", "_drain_queue"])
+
+
 class TestDisabled:
     def test_disabled_checks_are_noops(self, world):
         DISABLED.check_clock(1, 5.0)
@@ -139,6 +170,9 @@ class TestDisabled:
         DISABLED.snapshot_geometry(world.registry)
         DISABLED.verify_geometry(world.registry)
         DISABLED.check_merge([], Metrics())
+        DISABLED.note_loop_lag(100.0)
+        DISABLED.check_loop_health()  # stall above: still silent
+        DISABLED.check_task_leaks(["_stall_watchdog"])
         assert DISABLED.enabled is False
 
 

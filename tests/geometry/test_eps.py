@@ -2,9 +2,10 @@
 
 One regression test per float-comparison site the linter audit flagged
 (see docs/STATIC_ANALYSIS.md): sites migrated to ``feq``/``fzero`` must
-tolerate sub-epsilon noise, and sites that *kept* exact comparison under
-a ``# lint: allow=RL002`` pragma must preserve their bit-exact
-semantics — the motion-model wrap cases below are exactly what an
+tolerate sub-epsilon noise, and sites that kept exact comparison — now
+spelled ``feq_exact``/``fzero_exact`` rather than a pragma, so the
+RL002 debt ledger sits at zero — must preserve their bit-exact
+semantics.  The motion-model wrap cases below are exactly what an
 epsilon test would have broken.
 """
 
@@ -37,7 +38,7 @@ class TestHelpers:
 
 
 class TestRectDegenerate:
-    """rect.py keeps exact-zero comparison (allow=RL002 pragma)."""
+    """rect.py keeps exact-zero comparison (via fzero_exact)."""
 
     def test_point_rect_is_degenerate(self):
         assert Rect.point_rect(Point(3.0, 4.0)).is_degenerate()
@@ -71,7 +72,7 @@ class TestPolygonCoverage:
 
 
 class TestMotionSectorMass:
-    """motion.py keeps exact endpoint comparison (allow=RL002 pragma).
+    """motion.py keeps exact endpoint comparison (via feq_exact).
 
     The CCW sector convention makes the endpoints' *bit-exact* relation
     semantically load-bearing: equal endpoints are an empty sector,

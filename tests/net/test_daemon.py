@@ -1,6 +1,7 @@
 """Daemon behaviour: request/reply over real sockets, batching,
 backpressure, the SHUTDOWN channel, and the thread host's lifecycle."""
 
+import asyncio
 import socket
 import time
 
@@ -9,6 +10,7 @@ import pytest
 from repro.net import DaemonThread, SocketTransport
 from repro.protocol.framing import (FrameDecoder, FrameKind, encode_frame,
                                     encode_hello)
+from repro.sanitize import Sanitizer, SanitizerError
 from repro.telemetry import Telemetry
 
 from .conftest import make_daemon, make_report
@@ -146,3 +148,65 @@ class TestDaemonThreadLifecycle:
             make_daemon(batch_max=0)
         with pytest.raises(ValueError):
             make_daemon(queue_limit=0)
+
+
+class TestSanitizedServing:
+    """The loop watchdog and task-leak check ride REPRO_SANITIZE=1."""
+
+    def test_env_flag_reaches_the_daemon(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert make_daemon()._sanitizer.enabled
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not make_daemon()._sanitizer.enabled
+
+    def test_sanitized_roundtrip_is_clean(self, sock_path,
+                                          monkeypatch):
+        """A healthy serve-and-close must not trip the loop-stall or
+        task-leak checks: the watchdog spins up with the listener and
+        is cancelled (and awaited) by aclose before the leak scan."""
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        daemon = make_daemon()
+        with DaemonThread(daemon, path=sock_path):
+            with SocketTransport.connect_unix(sock_path,
+                                              daemon.codec) as transport:
+                for sequence in range(3):
+                    transport.request(make_report(sequence), 1.0)
+        assert daemon.server.metrics.uplink_messages == 3
+
+    def test_blocking_call_on_the_loop_is_caught_at_close(self):
+        """A blocking sleep smuggled onto the loop is caught at close:
+        the watchdog's pending wakeup fires late, the lag is recorded,
+        and check_loop_health fails the aclose."""
+
+        async def scenario():
+            daemon = make_daemon(sanitizer=Sanitizer())
+            await daemon.start_tcp("127.0.0.1", 0)
+            await asyncio.sleep(0.1)   # watchdog takes a baseline
+            time.sleep(0.8)            # the PA005 sin, committed live
+            await asyncio.sleep(0.1)   # late wakeup records the lag
+            await daemon.aclose()
+
+        with pytest.raises(SanitizerError, match="event loop stalled"):
+            asyncio.run(scenario())
+
+    def test_untracked_daemon_task_is_reported_as_leak(self):
+        """A daemon-module task that dodges the registries trips the
+        task-leak check when aclose scans for survivors."""
+
+        async def scenario():
+            daemon = make_daemon(sanitizer=Sanitizer())
+            await daemon.start_tcp("127.0.0.1", 0)
+            rogue = asyncio.create_task(daemon._stall_watchdog())
+            try:
+                await asyncio.sleep(0)
+                await daemon.aclose()
+            finally:
+                rogue.cancel()
+                try:
+                    await rogue
+                except asyncio.CancelledError:
+                    pass
+
+        with pytest.raises(SanitizerError,
+                           match=r"task leak.*_stall_watchdog"):
+            asyncio.run(scenario())
