@@ -26,7 +26,8 @@ from typing import Callable, Dict, List, Optional
 from .engine import PhaseProfiler, run_parallel_simulation, run_simulation
 from .engine.metrics import Metrics
 from .engine.server import AlarmServer
-from .net import AlarmDaemon, run_bench
+from .net import (AlarmDaemon, render_stats_json, render_stats_prom,
+                  render_stats_text, render_top, run_bench, scrape_stats)
 from .protocol.wire import WireCodec
 from .sanitize import Sanitizer
 from .experiments import (BENCH, PAPER, TINY, Table, WorkloadConfig,
@@ -309,8 +310,52 @@ def _cmd_bench_net(args: argparse.Namespace) -> int:
                        codec=WireCodec.from_sizes(world.sizes),
                        connections=args.connections, window=args.window,
                        repeat=args.repeat, shutdown=args.shutdown)
-    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    manifest = RunManifest.collect(
+        strategy="bench-net", config=asdict(config),
+        workers=args.connections, sizes=world.sizes.to_dict(),
+        cell_area_km2=args.cell, window=args.window, repeat=args.repeat)
+    print(json.dumps(result.to_dict(manifest), indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """One-shot scrape of a running daemon's STATS channel."""
+    if not args.uds and not args.port:
+        raise SystemExit("stats needs --uds PATH or --port N")
+    snapshot = scrape_stats(path=args.uds, host=args.host, port=args.port,
+                            timeout_s=args.timeout)
+    if args.format == "json":
+        print(render_stats_json(snapshot))
+    elif args.format == "prom":
+        print(render_stats_prom(snapshot), end="")
+    else:
+        print(render_stats_text(snapshot))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll the STATS channel and render a live dashboard."""
+    if not args.uds and not args.port:
+        raise SystemExit("top needs --uds PATH or --port N")
+    previous = None
+    screens = 0
+    try:
+        while True:
+            snapshot = scrape_stats(path=args.uds, host=args.host,
+                                    port=args.port,
+                                    timeout_s=args.timeout)
+            screen = render_top(snapshot, previous, args.interval)
+            if not args.no_clear:
+                # ANSI clear-screen + cursor-home, like top(1).
+                print("\x1b[2J\x1b[H", end="")
+            print(screen, flush=True)
+            previous = snapshot
+            screens += 1
+            if args.iterations is not None and screens >= args.iterations:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -509,6 +554,36 @@ def build_parser() -> argparse.ArgumentParser:
                                    "when done")
     add_workload_options(bench_parser)
     bench_parser.set_defaults(handler=_cmd_bench_net)
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="scrape a running daemon's live STATS snapshot "
+                      "(docs/OBSERVABILITY.md)")
+    add_endpoint_options(stats_parser)
+    stats_parser.add_argument("--format", choices=("text", "json", "prom"),
+                              default="text",
+                              help="output format (default: text)")
+    stats_parser.add_argument("--timeout", type=float, default=10.0,
+                              help="scrape timeout in seconds "
+                                   "(default 10)")
+    stats_parser.set_defaults(handler=_cmd_stats)
+
+    top_parser = subparsers.add_parser(
+        "top", help="poll a running daemon's STATS channel as a live "
+                    "dashboard (Ctrl-C to exit)")
+    add_endpoint_options(top_parser)
+    top_parser.add_argument("--interval", type=float, default=1.0,
+                            help="seconds between scrapes (default 1)")
+    top_parser.add_argument("--iterations", type=int, default=None,
+                            metavar="N",
+                            help="stop after N screens (default: run "
+                                 "until interrupted)")
+    top_parser.add_argument("--no-clear", action="store_true",
+                            help="append screens instead of clearing "
+                                 "the terminal (useful under CI)")
+    top_parser.add_argument("--timeout", type=float, default=10.0,
+                            help="scrape timeout in seconds "
+                                 "(default 10)")
+    top_parser.set_defaults(handler=_cmd_top)
 
     profile_parser = subparsers.add_parser(
         "profile", help="profile a workload and its safe regions")

@@ -18,6 +18,10 @@ this package plugs in an actual byte stream.  Four pieces:
   conformance suite pins its counters byte-identical to the goldens.
 * :func:`run_bench` — the ``repro bench-net`` load generator: pipelined
   mobility-trace replay over N concurrent connections.
+* :func:`scrape_stats` — the ``repro stats`` / ``repro top`` operator
+  channel client: one STATS frame in, the daemon's live snapshot out,
+  with pure renderers for text, JSON, Prometheus and the polling
+  dashboard.
 
 Byte accounting is unchanged by design: the daemon charges through the
 same :class:`~repro.protocol.transport.InProcessTransport` accounting
@@ -31,6 +35,9 @@ from .daemon import AlarmDaemon, DaemonThread
 from .engine import run_network_simulation
 from .sockets import (PyramidGeometry, SocketTransport, bitmap_geometry_of,
                       pyramid_resolver)
+from .stats import (StatsSnapshot, histogram_percentile, render_stats_json,
+                    render_stats_prom, render_stats_text, render_top,
+                    scrape_stats)
 
 __all__ = [
     "AlarmDaemon",
@@ -38,8 +45,15 @@ __all__ = [
     "DaemonThread",
     "PyramidGeometry",
     "SocketTransport",
+    "StatsSnapshot",
     "bitmap_geometry_of",
+    "histogram_percentile",
     "pyramid_resolver",
+    "render_stats_json",
+    "render_stats_prom",
+    "render_stats_text",
+    "render_top",
     "run_bench",
     "run_network_simulation",
+    "scrape_stats",
 ]

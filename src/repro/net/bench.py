@@ -34,6 +34,7 @@ from ..protocol.framing import (Frame, FrameDecoder, FrameKind,
 from ..protocol.messages import LocationReport
 from ..protocol.transport import TransportError
 from ..protocol.wire import WireCodec
+from ..telemetry.manifest import RunManifest
 
 #: Socket read size, matching the daemon's.
 _READ_CHUNK = 1 << 16
@@ -59,9 +60,16 @@ class BenchResult:
     def reports_per_s(self) -> float:
         return self.reports / self.wall_s if self.wall_s > 0 else 0.0
 
-    def to_dict(self) -> Dict[str, float]:
-        """Flat JSON-ready summary (the ``repro bench-net`` output)."""
-        return {
+    def to_dict(self, manifest: Optional[RunManifest] = None
+                ) -> Dict[str, object]:
+        """JSON-ready summary (the ``repro bench-net`` output).
+
+        With ``manifest`` the run's provenance (config hash, git sha,
+        seeds) is embedded under ``run_manifest``, the same record the
+        trace-writing benchmarks carry, so a committed baseline like
+        ``BENCH_net.json`` states what produced it.
+        """
+        payload: Dict[str, object] = {
             "connections": self.connections,
             "reports": self.reports,
             "replies": self.replies,
@@ -75,6 +83,9 @@ class BenchResult:
             "bytes_sent": self.bytes_sent,
             "bytes_received": self.bytes_received,
         }
+        if manifest is not None:
+            payload["run_manifest"] = manifest.to_dict()
+        return payload
 
 
 class _ConnTally:

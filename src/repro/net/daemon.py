@@ -37,16 +37,21 @@ import queue
 import stat
 import threading
 import time
-from typing import List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..protocol.framing import (Frame, FrameDecoder, FrameKind,
-                                FramingError, decode_hello, encode_error,
-                                encode_frame, encode_reply, reply_summary)
+from ..protocol.framing import (PROTOCOL_VERSION, Frame, FrameDecoder,
+                                FrameKind, FramingError, decode_hello,
+                                encode_error, encode_frame, encode_reply,
+                                encode_stats, reply_summary)
 from ..protocol.handlers import ServerPolicy
 from ..protocol.messages import Request, downlink_kind
 from ..protocol.transport import InProcessTransport
 from ..protocol.wire import WireCodec
 from ..sanitize import LOOP_WATCHDOG_INTERVAL_S, Sanitizer
+from ..telemetry.facade import Telemetry
+from ..telemetry.spans import (SERVER_SPAN_IDS, SPAN_DECODE, SPAN_HANDLE,
+                               SPAN_QUEUE_WAIT, SPAN_REPLY_ENCODE,
+                               STATUS_OK)
 from ..engine.server import AlarmServer
 
 #: Socket read size; large enough to complete many frames per wakeup.
@@ -55,8 +60,11 @@ _READ_CHUNK = 1 << 16
 #: Queue sentinel telling a drain worker its connection is done.
 _SENTINEL = None
 
-#: One queued uplink: (envelope simulation time, decoded request).
-_QueuedRequest = Tuple[float, Request]
+#: One queued uplink: (envelope simulation time, decoded request,
+#: trace id, client span id, enqueue ``perf_counter`` reading).  The
+#: trace pair is 0/0 for untraced uplinks; the perf reading feeds the
+#: ``queue_wait`` span when the drain worker picks the request up.
+_QueuedRequest = Tuple[float, Request, int, int, float]
 
 #: DaemonThread startup handshake: (running loop, bound TCP port,
 #: startup error) — exactly one of loop/error is non-None.
@@ -99,6 +107,12 @@ class AlarmDaemon:
         self._conn_tasks: Set["asyncio.Task[None]"] = set()
         self._watchdog: Optional["asyncio.Task[None]"] = None
         self._next_conn_id = 0
+        # Live per-connection uplink queues, keyed by connection id —
+        # the STATS snapshot reads open-connection and queue-depth
+        # gauges straight from here (loop-thread only, like all daemon
+        # state).
+        self._conn_queues: Dict[
+            int, "asyncio.Queue[Optional[_QueuedRequest]]"] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,6 +181,7 @@ class AlarmDaemon:
         if self._sanitizer.enabled:
             self._sanitizer.check_task_leaks(self._pending_task_names())
             self._sanitizer.check_loop_health()
+            self._sanitizer.check_span_balance()
 
     async def _stall_watchdog(self) -> None:
         """Sample event-loop responsiveness while serving.
@@ -228,6 +243,7 @@ class AlarmDaemon:
             telemetry.net_conn_open(conn_id)
         queue: "asyncio.Queue[Optional[_QueuedRequest]]" = asyncio.Queue(
             maxsize=self.queue_limit)
+        self._conn_queues[conn_id] = queue
         worker = asyncio.create_task(
             self._drain_queue(conn_id, queue, writer))
         decoder = FrameDecoder()
@@ -249,16 +265,42 @@ class AlarmDaemon:
                         if not greeted:
                             raise FramingError(
                                 "REQUEST before the HELLO handshake")
+                        traced = (telemetry.enabled
+                                  and frame.trace_id != 0)
+                        decode_started = (time.perf_counter() if traced
+                                          else 0.0)
                         request = self._decode_request(frame)
+                        if traced:
+                            self._emit_server_span(
+                                telemetry, frame.time_s, frame.trace_id,
+                                frame.span_id, SPAN_DECODE,
+                                decode_started)
                         requests += 1
+                        item: _QueuedRequest = (
+                            frame.time_s, request, frame.trace_id,
+                            frame.span_id, time.perf_counter())
                         try:
                             # Fast path: space available, no await.
-                            queue.put_nowait((frame.time_s, request))
+                            queue.put_nowait(item)
                         except asyncio.QueueFull:
                             if telemetry.enabled:
                                 telemetry.net_backpressure(
                                     frame.time_s, conn_id, queue.qsize())
-                            await queue.put((frame.time_s, request))
+                            await queue.put(item)
+                    elif frame.kind is FrameKind.STATS:
+                        if not greeted:
+                            raise FramingError(
+                                "STATS before the HELLO handshake")
+                        # Answered directly from the reader: one
+                        # writer.write call is atomic with respect to
+                        # the drain worker's coalesced writes, so the
+                        # snapshot frame never interleaves mid-frame.
+                        writer.write(encode_frame(
+                            FrameKind.STATS,
+                            encode_stats(self.stats_snapshot()),
+                            frame.time_s, frame.trace_id,
+                            frame.span_id))
+                        await writer.drain()
                     elif frame.kind is FrameKind.SHUTDOWN:
                         self.request_stop()
                     else:
@@ -323,6 +365,7 @@ class AlarmDaemon:
             await writer.wait_closed()
         except (ConnectionError, OSError):
             pass
+        self._conn_queues.pop(conn_id, None)
         telemetry = self.server.telemetry
         if telemetry.enabled:
             telemetry.net_conn_close(conn_id, clean, requests)
@@ -363,8 +406,20 @@ class AlarmDaemon:
         telemetry = self.server.telemetry
         started = time.perf_counter() if telemetry.enabled else 0.0
         parts: List[bytes] = []
-        for time_s, request in batch:
+        for time_s, request, trace_id, span_id, enqueued in batch:
+            traced = telemetry.enabled and trace_id != 0
+            if traced:
+                # queue_wait: enqueue (reader) → this drain wakeup.
+                self._emit_server_span(telemetry, time_s, trace_id,
+                                       span_id, SPAN_QUEUE_WAIT,
+                                       enqueued)
+            handle_started = time.perf_counter() if traced else 0.0
             reply = self._accounting.request(request, time_s)
+            if traced:
+                self._emit_server_span(telemetry, time_s, trace_id,
+                                       span_id, SPAN_HANDLE,
+                                       handle_started)
+            encode_started = time.perf_counter() if traced else 0.0
             payload = encode_reply(self.codec, reply, request.user_id,
                                    time_s)
             if self._sanitizer.enabled:
@@ -374,7 +429,14 @@ class AlarmDaemon:
                     if downlink_kind(message) is not None)
                 self._sanitizer.check_frame(
                     "reply", reply_summary(payload)[2], charged)
-            parts.append(encode_frame(FrameKind.REPLY, payload, time_s))
+            # The REPLY envelope echoes the request's trace pair so
+            # the client can correlate replies with its root spans.
+            parts.append(encode_frame(FrameKind.REPLY, payload, time_s,
+                                      trace_id, span_id))
+            if traced:
+                self._emit_server_span(telemetry, time_s, trace_id,
+                                       span_id, SPAN_REPLY_ENCODE,
+                                       encode_started)
         try:
             writer.write(b"".join(parts))
             await writer.drain()
@@ -384,6 +446,61 @@ class AlarmDaemon:
             telemetry.net_batch(batch[0][0], conn_id, len(batch),
                                 (time.perf_counter() - started) * 1e6)
         return True
+
+    def _emit_server_span(self, telemetry: Telemetry, time_s: float,
+                          trace_id: int, parent_id: int, name: str,
+                          started: float) -> None:
+        """Emit one completed server-stage span, retrospectively.
+
+        Server spans are opened and closed adjacently (the stage has
+        already finished; ``started`` is its begin ``perf_counter``
+        reading) so no span is ever held across an ``await`` — the
+        ledger stays balanced even if the connection dies between
+        stages.  The span id is the stage's fixed id from
+        :data:`~repro.telemetry.spans.SERVER_SPAN_IDS`; the parent is
+        the client's root span id carried in the frame envelope.
+        """
+        span_id = SERVER_SPAN_IDS[name]
+        telemetry.span_open(time_s, trace_id, span_id, parent_id, name)
+        if self._sanitizer.enabled:
+            self._sanitizer.note_span_open(trace_id, span_id)
+            self._sanitizer.note_span_close(trace_id, span_id)
+        telemetry.span_close(time_s, trace_id, span_id, STATUS_OK,
+                             (time.perf_counter() - started) * 1e6)
+
+    # ------------------------------------------------------------------
+    # Operator STATS channel
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> Dict[str, object]:
+        """The live introspection snapshot a STATS frame is answered
+        with.
+
+        Deterministic given the serving state: engine counters, the
+        telemetry registry dump (empty when telemetry is off), live
+        gauges read straight from the connection registry (the
+        scraping connection counts itself in ``connections_open``),
+        and the serving configuration.  Encoded canonically by
+        :func:`~repro.protocol.framing.encode_stats`, so two scrapes
+        of an idle daemon are byte-identical.
+        """
+        telemetry = self.server.telemetry
+        queues = {str(conn_id): q.qsize()
+                  for conn_id, q in sorted(self._conn_queues.items())}
+        return {
+            "metrics": self.server.metrics.counters(),
+            "registry": (telemetry.registry.to_dict()
+                         if telemetry.enabled else {}),
+            "live": {
+                "connections_open": len(self._conn_queues),
+                "queue_depth": queues,
+                "queue_depth_total": sum(queues.values()),
+            },
+            "serving": {
+                "batch_max": self.batch_max,
+                "queue_limit": self.queue_limit,
+                "protocol_version": PROTOCOL_VERSION,
+            },
+        }
 
 
 class DaemonThread:

@@ -78,7 +78,8 @@ def run_network_simulation(world: World, strategy: ProcessingStrategy,
         with DaemonThread(daemon, path=path):
             transport = SocketTransport.connect_unix(
                 path, codec, pyramid_for=pyramid_for,
-                telemetry=telemetry, timeout_s=timeout_s)
+                telemetry=telemetry, timeout_s=timeout_s,
+                sanitizer=sanitizer)
             try:
                 session = ClientSession(transport, client_metrics,
                                         world.grid, telemetry)

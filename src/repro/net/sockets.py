@@ -37,7 +37,10 @@ from ..protocol.framing import (Frame, FrameDecoder, FrameKind, FramingError,
 from ..protocol.messages import Request, Response, ServerReply
 from ..protocol.transport import Transport, TransportError
 from ..protocol.wire import WireCodec, unpack_cell_ref
+from ..sanitize import Sanitizer
 from ..telemetry.facade import DISABLED, Telemetry
+from ..telemetry.spans import (ROOT_SPAN_ID, SPAN_CLIENT_REQUEST,
+                               STATUS_ERROR, STATUS_OK, make_trace_id)
 
 #: Socket read size, matching the daemon's.
 _READ_CHUNK = 1 << 16
@@ -94,13 +97,24 @@ class SocketTransport(Transport):
     collected in :attr:`pushes` (order preserved).  Any ERROR frame,
     EOF, or timeout surfaces as
     :class:`~repro.protocol.transport.TransportError` — never a hang.
+
+    With telemetry enabled, every request is traced: the transport
+    assigns a trace id (``client_id`` salts the ids so concurrently
+    tracing transports never collide in one trace file), opens a
+    ``client_request`` root span, stamps the REQUEST frame's envelope
+    with the ``(trace, span)`` pair for the daemon to continue, and
+    closes the span on *every* exit path — ``"ok"`` on a decoded
+    reply, ``"error"`` on a send failure, timeout, EOF, ERROR frame or
+    undecodable reply.  An enabled ``sanitizer`` mirrors the ledger
+    and :meth:`close` asserts it balanced.
     """
 
     def __init__(self, sock: socket.socket,
                  codec: Optional[WireCodec] = None, *,
                  pyramid_for: Optional[Callable[[int], Pyramid]] = None,
                  telemetry: Optional[Telemetry] = None,
-                 timeout_s: float = 30.0) -> None:
+                 timeout_s: float = 30.0, client_id: int = 0,
+                 sanitizer: Optional[Sanitizer] = None) -> None:
         self.codec = codec if codec is not None else WireCodec()
         self.pyramid_for = pyramid_for
         self.telemetry = telemetry if telemetry is not None else DISABLED
@@ -108,6 +122,10 @@ class SocketTransport(Transport):
         self._sock: Optional[socket.socket] = sock
         self._decoder = FrameDecoder()
         self._pending: Deque[Frame] = deque()
+        self._client_id = client_id
+        self._trace_count = 0
+        self._sanitizer = (sanitizer if sanitizer is not None
+                           else Sanitizer.resolve(False))
         sock.settimeout(timeout_s)
         sock.sendall(encode_frame(FrameKind.HELLO, encode_hello()))
 
@@ -139,21 +157,53 @@ class SocketTransport(Transport):
     def request(self, request: Request, time_s: float) -> ServerReply:
         sock = self._require_socket()
         payload = self.codec.encode_request(request)
-        started = (time.perf_counter()
-                   if self.telemetry.enabled else 0.0)
+        telemetry = self.telemetry
+        traced = telemetry.enabled
+        trace_id = span_id = 0
+        started = 0.0
+        if traced:
+            self._trace_count += 1
+            trace_id = make_trace_id(self._client_id, self._trace_count)
+            span_id = ROOT_SPAN_ID
+            started = time.perf_counter()
+            telemetry.span_open(time_s, trace_id, span_id, 0,
+                                SPAN_CLIENT_REQUEST)
+            if self._sanitizer.enabled:
+                self._sanitizer.note_span_open(trace_id, span_id)
         try:
-            sock.sendall(encode_frame(FrameKind.REQUEST, payload, time_s))
-        except OSError as exc:
-            raise TransportError("send failed: %s" % exc) from exc
-        frame = self._read_frame(FrameKind.REPLY)
-        if self.telemetry.enabled:
-            self.telemetry.net_rtt(
-                (time.perf_counter() - started) * 1e6)
-        try:
-            return decode_reply(self.codec, frame.payload,
-                                pyramid_for=self.pyramid_for)
-        except FramingError as exc:
-            raise TransportError("undecodable REPLY: %s" % exc) from exc
+            try:
+                sock.sendall(encode_frame(FrameKind.REQUEST, payload,
+                                          time_s, trace_id, span_id))
+            except OSError as exc:
+                raise TransportError("send failed: %s" % exc) from exc
+            frame = self._read_frame(FrameKind.REPLY)
+            try:
+                reply = decode_reply(self.codec, frame.payload,
+                                     pyramid_for=self.pyramid_for)
+            except FramingError as exc:
+                raise TransportError("undecodable REPLY: %s"
+                                     % exc) from exc
+        except BaseException:
+            # Every failure path — send error, timeout, EOF, ERROR
+            # frame, undecodable reply — closes the span: an exchange
+            # that died still happened, and a leaked span would hide
+            # exactly the worst-latency (failed) requests.
+            if traced:
+                self._finish_span(time_s, trace_id, STATUS_ERROR,
+                                  started)
+            raise
+        if traced:
+            telemetry.net_rtt((time.perf_counter() - started) * 1e6)
+            self._finish_span(time_s, trace_id, STATUS_OK, started)
+        return reply
+
+    def _finish_span(self, time_s: float, trace_id: int, status: str,
+                     started: float) -> None:
+        if self._sanitizer.enabled:
+            self._sanitizer.note_span_close(trace_id, ROOT_SPAN_ID)
+        self.telemetry.span_close(
+            time_s, trace_id, ROOT_SPAN_ID, status,
+            (time.perf_counter() - started) * 1e6)
 
     def push(self, user_id: int, message: Response,
              time_s: float) -> None:
@@ -218,7 +268,7 @@ class SocketTransport(Transport):
             raise TransportError("send failed: %s" % exc) from exc
 
     def close(self) -> None:
-        """Close the socket (idempotent)."""
+        """Close the socket (idempotent); check the span ledger."""
         sock = self._sock
         if sock is None:
             return
@@ -227,6 +277,8 @@ class SocketTransport(Transport):
             sock.close()
         except OSError:
             pass
+        if self._sanitizer.enabled:
+            self._sanitizer.check_span_balance()
 
     def __enter__(self) -> "SocketTransport":
         return self

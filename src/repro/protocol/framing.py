@@ -3,7 +3,7 @@
 The :class:`~repro.protocol.wire.WireCodec` defines what one *message*
 looks like in bytes; this module defines how messages travel over a
 *byte stream* (TCP or a Unix domain socket), where the peer's reads may
-split the stream at any boundary.  Every frame is a fixed 16-byte
+split the stream at any boundary.  Every frame is a fixed 32-byte
 header followed by a length-prefixed payload::
 
     magic:    u8   (0xF7 — rejects peers speaking another protocol)
@@ -11,13 +11,18 @@ header followed by a length-prefixed payload::
     reserved: u16  (zero on the wire)
     length:   u32  (payload bytes; capped at :data:`MAX_FRAME_PAYLOAD`)
     time:     f64  (simulation-clock seconds of the exchange)
+    trace:    u64  (client-assigned trace id; 0 = untraced)
+    span:     u64  (sender's span id within the trace; 0 = untraced)
 
-The simulation clock rides the *envelope*, never a charged payload:
-an uplink report carries no timestamp field of its own (the 32-byte
-:class:`~repro.protocol.messages.LocationReport` layout is unchanged),
-so the framed path charges exactly the bytes the in-process path
-charges — the conformance suite pins the equality against the wire
-goldens.
+The simulation clock and the trace context ride the *envelope*, never
+a charged payload: an uplink report carries no timestamp field of its
+own (the 32-byte :class:`~repro.protocol.messages.LocationReport`
+layout is unchanged), so the framed path charges exactly the bytes the
+in-process path charges — the conformance suite pins the equality
+against the wire goldens.  A REPLY echoes the REQUEST's trace and span
+ids, which is how a client follows one uplink from its own span
+through the daemon's child spans to the answer
+(``docs/OBSERVABILITY.md``).
 
 :class:`FrameDecoder` is deliberately incremental — feed it chunks as
 they arrive and it yields complete frames, buffering any tail —
@@ -35,10 +40,11 @@ part that counts as downlink traffic).
 
 from __future__ import annotations
 
+import json
 import struct
 from enum import IntEnum
-from typing import (TYPE_CHECKING, Callable, List, NamedTuple, Optional,
-                    Tuple)
+from typing import (TYPE_CHECKING, Callable, Dict, List, Mapping,
+                    NamedTuple, Optional, Tuple)
 
 from .messages import AlarmNotification, Response, ServerReply
 from .wire import MessageType, WireCodec, peek_bitmap_cell_ref, peek_type
@@ -54,10 +60,11 @@ FRAME_MAGIC = 0xF7
 #: that a corrupt length prefix cannot make a peer buffer gigabytes.
 MAX_FRAME_PAYLOAD = 1 << 20
 
-#: Version byte carried by HELLO; bumped on any layout change.
-PROTOCOL_VERSION = 1
+#: Version carried by HELLO; bumped on any layout change.  Version 2
+#: widened the header from 16 to 32 bytes for the trace/span ids.
+PROTOCOL_VERSION = 2
 
-_FRAME_HEADER = struct.Struct("<BBHId")     # 16 bytes
+_FRAME_HEADER = struct.Struct("<BBHIdQQ")   # 32 bytes
 FRAME_HEADER_SIZE = _FRAME_HEADER.size
 
 _HELLO = struct.Struct("<H")
@@ -79,6 +86,7 @@ class FrameKind(IntEnum):
     PUSH = 4       # server -> client: one encoded downlink outside a reply
     ERROR = 5      # server -> client: UTF-8 reason, connection closing
     SHUTDOWN = 6   # client -> server: stop the daemon (operator channel)
+    STATS = 7      # both ways: operator scrape of the live registry
 
 
 #: Value -> member map for the decoder's hot path (an ``IntEnum`` call
@@ -100,21 +108,27 @@ class Frame(NamedTuple):
     A ``NamedTuple`` rather than a frozen dataclass: the decoder builds
     one per frame on the serving hot path, and tuple construction skips
     the per-field ``object.__setattr__`` a frozen dataclass pays.
+
+    ``trace_id``/``span_id`` are the envelope's trace context; both are
+    zero on untraced frames, so pre-tracing callers that build frames
+    positionally keep working unchanged.
     """
 
     kind: FrameKind
     time_s: float
     payload: bytes
+    trace_id: int = 0
+    span_id: int = 0
 
 
-def encode_frame(kind: FrameKind, payload: bytes,
-                 time_s: float = 0.0) -> bytes:
+def encode_frame(kind: FrameKind, payload: bytes, time_s: float = 0.0,
+                 trace_id: int = 0, span_id: int = 0) -> bytes:
     """Serialize one frame (header + payload)."""
     if len(payload) > MAX_FRAME_PAYLOAD:
         raise FramingError("frame payload of %d bytes exceeds the %d-byte "
                            "cap" % (len(payload), MAX_FRAME_PAYLOAD))
     return _FRAME_HEADER.pack(FRAME_MAGIC, int(kind), 0, len(payload),
-                              time_s) + payload
+                              time_s, trace_id, span_id) + payload
 
 
 class FrameDecoder:
@@ -159,7 +173,8 @@ class FrameDecoder:
         buffer = self._buffer
         if len(buffer) < FRAME_HEADER_SIZE:
             return None
-        magic, kind, _, length, time_s = _FRAME_HEADER.unpack_from(buffer)
+        (magic, kind, _, length, time_s, trace_id,
+         span_id) = _FRAME_HEADER.unpack_from(buffer)
         if magic != FRAME_MAGIC:
             raise FramingError("bad frame magic 0x%02X (expected 0x%02X)"
                                % (magic, FRAME_MAGIC))
@@ -175,7 +190,8 @@ class FrameDecoder:
             return None
         payload = bytes(buffer[FRAME_HEADER_SIZE:end])
         del buffer[:end]
-        return Frame(kind=frame_kind, time_s=time_s, payload=payload)
+        return Frame(kind=frame_kind, time_s=time_s, payload=payload,
+                     trace_id=trace_id, span_id=span_id)
 
 
 # ----------------------------------------------------------------------
@@ -205,6 +221,38 @@ def encode_error(reason: str) -> bytes:
 
 def decode_error(payload: bytes) -> str:
     return payload.decode("utf-8", errors="replace")
+
+
+# ----------------------------------------------------------------------
+# STATS payloads (operator channel)
+# ----------------------------------------------------------------------
+def encode_stats(snapshot: Mapping[str, object]) -> bytes:
+    """Serialize one stats snapshot (the daemon's STATS answer).
+
+    Canonical JSON (sorted keys, no whitespace) so two scrapes of the
+    same registry state are byte-identical — ``repro stats`` and the
+    Prometheus byte-compare tests rely on that determinism.  A STATS
+    *request* carries an empty payload; only the answer uses this.
+    """
+    encoded = json.dumps(snapshot, sort_keys=True,
+                         separators=(",", ":")).encode("utf-8")
+    if len(encoded) > MAX_FRAME_PAYLOAD:
+        raise FramingError("stats snapshot of %d bytes exceeds the "
+                           "%d-byte frame cap"
+                           % (len(encoded), MAX_FRAME_PAYLOAD))
+    return encoded
+
+
+def decode_stats(payload: bytes) -> Dict[str, object]:
+    """Deserialize a STATS answer back into its snapshot mapping."""
+    try:
+        snapshot = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise FramingError("undecodable STATS payload: %s" % error)
+    if not isinstance(snapshot, dict):
+        raise FramingError("STATS payload must be a JSON object, got %s"
+                           % type(snapshot).__name__)
+    return snapshot
 
 
 # ----------------------------------------------------------------------

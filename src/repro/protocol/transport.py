@@ -33,6 +33,8 @@ import time
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..telemetry.facade import DISABLED
+from ..telemetry.spans import (ROOT_SPAN_ID, SPAN_LOSSY_REQUEST,
+                               STATUS_ERROR, STATUS_OK, make_trace_id)
 from .handlers import ServerPolicy, handle_request
 from .messages import Request, Response, ServerReply, downlink_kind
 from .wire import WireCodec
@@ -168,10 +170,18 @@ class LossyTransport(InProcessTransport):
     consumed either way) and counted in ``Metrics.uplink_drops`` /
     ``downlink_drops``; a request whose uplink or any of whose reply
     payloads exhausts ``max_attempts`` raises :class:`TransportError`.
+
+    With telemetry enabled each exchange is additionally wrapped in a
+    ``lossy_request`` root span that closes ``"ok"`` on delivery and
+    ``"error"`` on attempt-budget exhaustion — the retry loop may
+    abandon an exchange, but it may never leak its span (``repro trace
+    validate`` checks the ledger balances); ``_trace_count`` is the
+    per-transport trace-id counter behind those spans.
     """
 
     __slots__ = ("uplink_drop", "downlink_drop", "delay_s", "backoff_s",
-                 "max_attempts", "max_exchange_latency_s", "_rng")
+                 "max_attempts", "max_exchange_latency_s", "_rng",
+                 "_trace_count")
 
     def __init__(self, server: "AlarmServer", policy: ServerPolicy,
                  codec: Optional[WireCodec] = None,
@@ -193,9 +203,32 @@ class LossyTransport(InProcessTransport):
         self.max_attempts = max_attempts
         self.max_exchange_latency_s = 0.0
         self._rng = random.Random(seed)
+        self._trace_count = 0
 
     # ------------------------------------------------------------------
     def request(self, request: Request, time_s: float) -> ServerReply:
+        telemetry = self.server.telemetry
+        if not telemetry.enabled:
+            return self._exchange(request, time_s)
+        self._trace_count += 1
+        trace_id = make_trace_id(0, self._trace_count)
+        started = time.perf_counter()
+        telemetry.span_open(time_s, trace_id, ROOT_SPAN_ID, 0,
+                            SPAN_LOSSY_REQUEST)
+        try:
+            reply = self._exchange(request, time_s)
+        except TransportError:
+            # Attempt-budget exhaustion (uplink or any reply payload)
+            # abandons the exchange but must not leak its span.
+            telemetry.span_close(time_s, trace_id, ROOT_SPAN_ID,
+                                 STATUS_ERROR,
+                                 (time.perf_counter() - started) * 1e6)
+            raise
+        telemetry.span_close(time_s, trace_id, ROOT_SPAN_ID, STATUS_OK,
+                             (time.perf_counter() - started) * 1e6)
+        return reply
+
+    def _exchange(self, request: Request, time_s: float) -> ServerReply:
         server = self.server
         telemetry = server.telemetry
         latency = 0.0

@@ -25,7 +25,12 @@ mirroring the static concurrency checkers at runtime:
   :data:`LOOP_STALL_THRESHOLD_S` fails the run at ``aclose()``;
 * **task-leak check** (PA007's shadow) — after ``aclose()`` cancels
   and gathers every tracked task, any daemon-owned task still pending
-  is a spawn that escaped the registry, and raises.
+  is a spawn that escaped the registry, and raises;
+* **span-balance ledger** (the tracing layer's mirror) — every span
+  the transports and the daemon open is noted, every close must match
+  an open, and ``check_span_balance`` at transport/daemon close raises
+  on any span opened but never closed (the leak class the fault
+  injection suite pins).
 
 Off by default and free when off: the engines hold the shared
 :data:`DISABLED` singleton and guard every site with one
@@ -36,7 +41,7 @@ benchmark ceiling) as the disabled telemetry facade.
 from __future__ import annotations
 
 import os
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Set, Tuple
 
 if TYPE_CHECKING:  # typing only: keeps this module import-light
     from .alarms import AlarmRegistry
@@ -75,7 +80,7 @@ class Sanitizer:
     environment) says off.
     """
 
-    __slots__ = ("_clocks", "_geometry", "_worst_lag")
+    __slots__ = ("_clocks", "_geometry", "_worst_lag", "_open_spans")
 
     enabled = True
 
@@ -83,6 +88,7 @@ class Sanitizer:
         self._clocks: Dict[int, float] = {}
         self._geometry: Optional[Tuple[_GeometryRow, ...]] = None
         self._worst_lag = 0.0
+        self._open_spans: Set[Tuple[int, int]] = set()
 
     @staticmethod
     def resolve(flag: Optional[bool] = None) -> "Sanitizer":
@@ -199,6 +205,42 @@ class Sanitizer:
                 "pending: %s" % (len(pending),
                                  ", ".join(sorted(pending))))
 
+    def note_span_open(self, trace_id: int, span_id: int) -> None:
+        """Record one span opening (duplicate opens raise)."""
+        key = (trace_id, span_id)
+        if key in self._open_spans:
+            raise SanitizerError(
+                "span (trace %d, span %d) opened twice without closing"
+                % (trace_id, span_id))
+        self._open_spans.add(key)
+
+    def note_span_close(self, trace_id: int, span_id: int) -> None:
+        """Record one span closing (a close without an open raises)."""
+        key = (trace_id, span_id)
+        if key not in self._open_spans:
+            raise SanitizerError(
+                "span (trace %d, span %d) closed but was never opened"
+                % (trace_id, span_id))
+        self._open_spans.discard(key)
+
+    def check_span_balance(self) -> None:
+        """Assert every noted span was closed (run at endpoint close).
+
+        The runtime mirror of ``repro trace validate``'s span
+        well-formedness check: a span opened around a request that then
+        failed — a dropped frame, a timeout, a dead peer — must still
+        close (with an error status), or the trace's span ledger is
+        unbalanced and latency accounting silently loses the worst
+        (failed) exchanges.
+        """
+        if self._open_spans:
+            leaked = ", ".join(
+                "(trace %d, span %d)" % key
+                for key in sorted(self._open_spans)[:5])
+            raise SanitizerError(
+                "span leak: %d span(s) opened but never closed: %s"
+                % (len(self._open_spans), leaked))
+
     def check_merge(self, parts: Sequence["Metrics"],
                     merged: "Metrics") -> None:
         """Spot-check the metrics merge: fold order must not matter."""
@@ -251,6 +293,15 @@ class _DisabledSanitizer(Sanitizer):
         return
 
     def check_task_leaks(self, pending: Sequence[str]) -> None:
+        return
+
+    def note_span_open(self, trace_id: int, span_id: int) -> None:
+        return
+
+    def note_span_close(self, trace_id: int, span_id: int) -> None:
+        return
+
+    def check_span_balance(self) -> None:
         return
 
     def check_merge(self, parts: Sequence["Metrics"],

@@ -21,17 +21,24 @@ from .events import (BASE_FIELDS, EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
                      EVENT_NET_CONN_CLOSE, EVENT_NET_CONN_OPEN,
                      EVENT_SAFEREGION_COMPUTED, EVENT_SAFEREGION_EXIT,
                      EVENT_SHARD_FINISHED, EVENT_SHARD_STARTED,
-                     EVENT_TYPES, RECORD_EVENT, RECORD_MANIFEST,
-                     RECORD_SUMMARY, TraceEvent, validate_event)
+                     EVENT_SPAN_CLOSE, EVENT_SPAN_OPEN, EVENT_TYPES,
+                     RECORD_EVENT, RECORD_MANIFEST, RECORD_SUMMARY,
+                     TraceEvent, validate_event)
 from .export import (TraceData, event_counts, filter_events, read_trace,
                      reconcile, render_event_line, render_json,
-                     render_prom, render_text, validate_trace)
+                     render_prom, render_registry_prom, render_text,
+                     validate_trace)
 from .facade import DISABLED, Telemetry
 from .manifest import (MANIFEST_VERSION, RunManifest, config_fingerprint,
                        current_git_sha, extract_seeds)
 from .metrics import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
                       Instrument, MetricsRegistry, TelemetryError)
 from .sinks import JsonlSink, ListSink, NullSink, TraceSink, read_jsonl
+from .spans import (ROOT_SPAN_ID, SERVER_SPAN_IDS, SPAN_CLIENT_REQUEST,
+                    SPAN_DECODE, SPAN_HANDLE, SPAN_LOSSY_REQUEST,
+                    SPAN_QUEUE_WAIT, SPAN_REPLY_ENCODE, STATUS_ERROR,
+                    STATUS_OK, make_trace_id, span_close_counts,
+                    validate_spans)
 from .tracer import Tracer
 
 __all__ = [
@@ -51,6 +58,8 @@ __all__ = [
     "EVENT_SAFEREGION_EXIT",
     "EVENT_SHARD_FINISHED",
     "EVENT_SHARD_STARTED",
+    "EVENT_SPAN_CLOSE",
+    "EVENT_SPAN_OPEN",
     "EVENT_TYPES",
     "Gauge",
     "Histogram",
@@ -63,7 +72,17 @@ __all__ = [
     "RECORD_EVENT",
     "RECORD_MANIFEST",
     "RECORD_SUMMARY",
+    "ROOT_SPAN_ID",
     "RunManifest",
+    "SERVER_SPAN_IDS",
+    "SPAN_CLIENT_REQUEST",
+    "SPAN_DECODE",
+    "SPAN_HANDLE",
+    "SPAN_LOSSY_REQUEST",
+    "SPAN_QUEUE_WAIT",
+    "SPAN_REPLY_ENCODE",
+    "STATUS_ERROR",
+    "STATUS_OK",
     "Telemetry",
     "TelemetryError",
     "TraceData",
@@ -75,13 +94,17 @@ __all__ = [
     "event_counts",
     "extract_seeds",
     "filter_events",
+    "make_trace_id",
     "read_jsonl",
     "read_trace",
     "reconcile",
     "render_event_line",
     "render_json",
     "render_prom",
+    "render_registry_prom",
     "render_text",
+    "span_close_counts",
     "validate_event",
+    "validate_spans",
     "validate_trace",
 ]

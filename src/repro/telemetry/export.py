@@ -21,11 +21,15 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from .events import (EVENT_TYPES, RECORD_EVENT, RECORD_MANIFEST,
-                     RECORD_SUMMARY, validate_event)
+from .events import (EVENT_SPAN_CLOSE, EVENT_SPAN_OPEN, EVENT_TYPES,
+                     RECORD_EVENT, RECORD_MANIFEST, RECORD_SUMMARY,
+                     validate_event)
 from .manifest import RunManifest
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .sinks import read_jsonl
+from .spans import (SPAN_CLIENT_REQUEST, SPAN_DECODE, SPAN_HANDLE,
+                    SPAN_QUEUE_WAIT, SPAN_REPLY_ENCODE, STATUS_OK,
+                    span_close_counts, validate_spans)
 
 #: Counter-level reconciliation pairs: (registry counter, Metrics field).
 RECONCILE_COUNTERS = (
@@ -59,6 +63,8 @@ RECONCILE_REGISTRY_EVENTS = (
     ("net_connections_closed", "net_conn_close"),
     ("net_batches", "net_batch"),
     ("net_backpressure_stalls", "net_backpressure"),
+    ("spans_opened", "span_open"),
+    ("spans_closed", "span_close"),
 )
 
 #: Prefix-sum reconciliation pairs: (registry counter prefix, Metrics
@@ -130,6 +136,7 @@ def validate_trace(data: TraceData) -> List[str]:
     for index, record in enumerate(data.events):
         for problem in validate_event(record):
             problems.append("event %d: %s" % (index, problem))
+    problems.extend(validate_spans(data.events))
     return problems
 
 
@@ -174,6 +181,25 @@ def reconcile(data: TraceData) -> Dict[str, object]:
                     if isinstance(instrument, Counter))
         check("sum(registry.%s*) == metrics.%s" % (prefix, metrics_field),
               metrics.get(metrics_field, 0), total)
+
+    # Span-vs-instrument cross-checks.  All hold exactly for every
+    # trace kind — untraced runs compare 0 == 0.
+    span_counts = span_close_counts(data.events)
+    check("events.span_open == events.span_close",
+          counts.get(EVENT_SPAN_OPEN, 0), counts.get(EVENT_SPAN_CLOSE, 0))
+    # Every successful framed round trip observed exactly one RTT
+    # sample (the histogram is fed after a decoded reply, just before
+    # the ok close — failed exchanges close "error" and observe none).
+    rtt = registry.get("net_rtt_us")
+    check("spans.client_request[ok] == registry.net_rtt_us.count",
+          span_counts.get((SPAN_CLIENT_REQUEST, STATUS_OK), 0),
+          rtt.count if isinstance(rtt, Histogram) else 0)
+    # The serving pipeline is lock-step per handled request: one
+    # decode, one queue wait and one reply encode each.
+    handled = span_counts.get((SPAN_HANDLE, STATUS_OK), 0)
+    for stage in (SPAN_DECODE, SPAN_QUEUE_WAIT, SPAN_REPLY_ENCODE):
+        check("spans.%s[ok] == spans.handle[ok]" % stage,
+              handled, span_counts.get((stage, STATUS_OK), 0))
     return {"ok": all(bool(entry["ok"]) for entry in checks),
             "checks": checks}
 
@@ -312,24 +338,17 @@ def render_json(data: TraceData) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def render_prom(data: TraceData) -> str:
-    """Prometheus text exposition format (counters, gauges, histograms).
+def render_registry_prom(registry: MetricsRegistry) -> List[str]:
+    """One registry as Prometheus exposition lines (no trailing blank).
 
     Metric names are prefixed ``repro_``; histograms expose cumulative
     ``_bucket{le=...}`` series plus ``_sum``/``_count``, matching the
-    Prometheus histogram convention, so the output scrapes directly
-    into any Prometheus-compatible stack.
+    Prometheus histogram convention.  Shared by the trace exporter
+    (:func:`render_prom`) and the live STATS scraper (``repro stats
+    --format prom``), so a scraped snapshot and a recorded trace of the
+    same registry render byte-identically.
     """
     lines: List[str] = []
-    manifest = data.manifest
-    if manifest is not None:
-        lines.append("# TYPE repro_run_info gauge")
-        lines.append(
-            'repro_run_info{strategy="%s",config_hash="%s",'
-            'git_sha="%s",workers="%d"} 1'
-            % (manifest.strategy, manifest.config_hash,
-               manifest.git_sha or "", manifest.workers))
-    registry = data.registry()
     for name in registry.names():
         instrument = registry.get(name)
         metric = "repro_" + name
@@ -352,6 +371,26 @@ def render_prom(data: TraceData) -> str:
                          % (metric, instrument.count))
             lines.append("%s_sum %s" % (metric, instrument.sum))
             lines.append("%s_count %d" % (metric, instrument.count))
+    return lines
+
+
+def render_prom(data: TraceData) -> str:
+    """Prometheus text exposition format (counters, gauges, histograms).
+
+    The registry rendering is :func:`render_registry_prom`; this adds
+    the run-info gauge from the manifest and per-event-type totals, so
+    the output scrapes directly into any Prometheus-compatible stack.
+    """
+    lines: List[str] = []
+    manifest = data.manifest
+    if manifest is not None:
+        lines.append("# TYPE repro_run_info gauge")
+        lines.append(
+            'repro_run_info{strategy="%s",config_hash="%s",'
+            'git_sha="%s",workers="%d"} 1'
+            % (manifest.strategy, manifest.config_hash,
+               manifest.git_sha or "", manifest.workers))
+    lines.extend(render_registry_prom(data.registry()))
     for event_type, count in sorted(event_counts(data.events).items()):
         metric = "repro_events_total"
         lines.append('%s{type="%s"} %d' % (metric, event_type, count))

@@ -27,6 +27,7 @@ what lets ``repro report`` reconcile a trace against the engine's own
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .events import (EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
@@ -34,7 +35,8 @@ from .events import (EVENT_ALARM_FIRED, EVENT_DOWNLINK_SENT,
                      EVENT_NET_BATCH, EVENT_NET_CONN_CLOSE,
                      EVENT_NET_CONN_OPEN, EVENT_SAFEREGION_COMPUTED,
                      EVENT_SAFEREGION_EXIT, EVENT_SHARD_FINISHED,
-                     EVENT_SHARD_STARTED, EVENT_TRANSPORT_DROP,
+                     EVENT_SHARD_STARTED, EVENT_SPAN_CLOSE,
+                     EVENT_SPAN_OPEN, EVENT_TRANSPORT_DROP,
                      RECORD_SUMMARY)
 from .manifest import RunManifest
 from .metrics import MetricsRegistry
@@ -45,7 +47,8 @@ from .tracer import Tracer
 class Telemetry:
     """Facade over tracer, metrics registry and run manifest."""
 
-    __slots__ = ("enabled", "tracer", "registry", "manifest")
+    __slots__ = ("enabled", "tracer", "registry", "manifest",
+                 "_span_lock")
 
     def __init__(self, tracer: Tracer, registry: MetricsRegistry,
                  manifest: Optional[RunManifest] = None,
@@ -54,6 +57,12 @@ class Telemetry:
         self.tracer = tracer
         self.registry = registry
         self.manifest = manifest
+        # Span events are the one emitter family called from two
+        # threads of one process (the network engine's client thread
+        # and the daemon's loop thread share this facade); the lock
+        # keeps the shared span counters exact.  Every other emitter
+        # has a single writer and stays lock-free.
+        self._span_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -232,6 +241,40 @@ class Telemetry:
         self.tracer.emit(EVENT_NET_BACKPRESSURE, time_s, conn=conn_id,
                          depth=depth)
         self.registry.counter("net_backpressure_stalls").inc()
+
+    def span_open(self, time_s: float, trace_id: int, span_id: int,
+                  parent_id: int, name: str) -> None:
+        """A traced operation began.
+
+        ``trace_id`` groups every span of one request's journey;
+        ``parent_id`` is 0 for the root (client) span and the opener's
+        span id for server-side children.  ``repro trace validate``
+        checks the open/close pairing and parent/child well-formedness
+        (see :func:`~repro.telemetry.export.validate_spans`).
+        """
+        if not self.enabled:
+            return
+        with self._span_lock:
+            self.tracer.emit(EVENT_SPAN_OPEN, time_s, trace=trace_id,
+                             span=span_id, parent=parent_id, name=name)
+            self.registry.counter("spans_opened").inc()
+
+    def span_close(self, time_s: float, trace_id: int, span_id: int,
+                   status: str, elapsed_us: float) -> None:
+        """A traced operation ended with ``status`` ``"ok"``/``"error"``.
+
+        ``elapsed_us`` is a wall-clock duration probe (perf-counter
+        delta, the same sanction as ``net_batch``'s ``handle_us``);
+        every opened span must close exactly once — the sanitizer
+        mirrors the balance check live.
+        """
+        if not self.enabled:
+            return
+        with self._span_lock:
+            self.tracer.emit(EVENT_SPAN_CLOSE, time_s, trace=trace_id,
+                             span=span_id, status=status,
+                             elapsed_us=elapsed_us)
+            self.registry.counter("spans_closed").inc()
 
     def net_rtt(self, rtt_us: float) -> None:
         """One framed request-reply round trip took ``rtt_us``.

@@ -20,6 +20,7 @@ byte-stable and diffable.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import IO, List, Mapping, Optional, Union
 
@@ -61,6 +62,12 @@ class JsonlSink(TraceSink):
 
     Accepts a path (opened for writing, closed by :meth:`close`) or an
     already-open text handle (left open — the caller owns it).
+
+    Writes are serialized by a lock: the network engine's client
+    (main thread) and daemon (event-loop thread) share one sink, and
+    buffered text handles interleave unlocked concurrent writes
+    mid-line, corrupting the trace.  Each record is encoded outside
+    the lock and written as one string.
     """
 
     def __init__(self, target: Union[str, Path, IO[str]]) -> None:
@@ -69,11 +76,13 @@ class JsonlSink(TraceSink):
             self._handle: IO[str] = open(target, "w", encoding="utf-8")
         else:
             self._handle = target
+        self._lock = threading.Lock()
 
     def write_record(self, record: Mapping[str, object]) -> None:
-        self._handle.write(json.dumps(record, sort_keys=True,
-                                      separators=(",", ":")))
-        self._handle.write("\n")
+        line = json.dumps(record, sort_keys=True,
+                          separators=(",", ":")) + "\n"
+        with self._lock:
+            self._handle.write(line)
 
     def close(self) -> None:
         if self._owns_handle:

@@ -46,6 +46,19 @@ def test_counters_match_the_wire_goldens(world, transport, name):
     assert _observed(result.metrics) == GOLDENS[name]
 
 
+@pytest.mark.parametrize("name", STRATEGY_NAMES)
+def test_socket_goldens_hold_with_tracing_enabled(world, name):
+    """Distributed tracing must be accounting-invisible: the trace
+    context rides the frame envelope (never charged), so a fully
+    traced socket run pins the same byte totals as the untraced
+    goldens."""
+    strategy = _factory(name, world.max_speed())()
+    result = run_network_simulation(world, strategy, sanitize=True,
+                                    telemetry=Telemetry.capture())
+    assert result.accuracy.perfect
+    assert _observed(result.metrics) == GOLDENS[name]
+
+
 def test_socket_run_telemetry_reconciles(world):
     """The framed run's registry counters agree with its metrics, and
     every traced event is schema-valid — the same reconciliation

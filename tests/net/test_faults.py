@@ -14,12 +14,22 @@ import time
 
 import pytest
 
+from repro.alarms import AlarmRegistry, AlarmScope
+from repro.engine import AlarmServer, Metrics
+from repro.geometry import Rect
+from repro.index import GridOverlay
 from repro.net import DaemonThread, SocketTransport
-from repro.protocol.framing import (FrameDecoder, FrameKind, decode_error,
-                                    encode_frame, encode_hello)
-from repro.protocol.transport import TransportError
+from repro.protocol.framing import (FRAME_HEADER_SIZE, FrameDecoder,
+                                    FrameKind, decode_error, encode_frame,
+                                    encode_hello)
+from repro.protocol.handlers import EVALUATE_ONLY
+from repro.protocol.transport import LossyTransport, TransportError
 from repro.protocol.wire import WireCodec
+from repro.sanitize import Sanitizer
 from repro.telemetry import Telemetry
+from repro.telemetry.spans import (SPAN_CLIENT_REQUEST, SPAN_LOSSY_REQUEST,
+                                   STATUS_ERROR, STATUS_OK,
+                                   span_close_counts, validate_spans)
 
 from .conftest import make_daemon, make_report
 
@@ -39,6 +49,11 @@ def _asyncio_records(caplog):
 def _close_events(telemetry):
     return [record for record in telemetry.tracer.sink.records
             if record["type"] == "net_conn_close"]
+
+
+def _span_counts(telemetry):
+    """``{(span name, close status): count}`` for the captured events."""
+    return span_close_counts(telemetry.tracer.sink.records)
 
 
 def _raw_connect(path):
@@ -163,8 +178,8 @@ class TestServerFaults:
         # The fake server runs in a thread: it must consume the request
         # while the client blocks in its stop-and-wait read, then die
         # seven bytes into the reply frame.
-        expected = (2 * 16  # HELLO and REQUEST headers
-                    + 2     # HELLO payload
+        expected = (2 * FRAME_HEADER_SIZE  # HELLO and REQUEST headers
+                    + 2                    # HELLO payload
                     + len(WireCodec().encode_request(make_report())))
 
         def half_reply_then_die():
@@ -222,3 +237,81 @@ class TestServerFaults:
             transport.close()  # idempotent
             with pytest.raises(TransportError, match="closed"):
                 transport.request(make_report(), 1.0)
+
+
+class TestSpanLeaksUnderFaults:
+    """Failed exchanges must close their client span with ``"error"``
+    status — a leaked span would hide exactly the worst-latency
+    (failed) requests from the trace, and the sanitizer's span ledger
+    would flag the imbalance at transport close."""
+
+    def test_timeout_closes_the_client_span_with_error(self, sock_path):
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(sock_path)
+        listener.listen(1)
+        telemetry = Telemetry.capture()
+        sanitizer = Sanitizer.resolve(True)
+        transport = None
+        served = None
+        try:
+            client = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            client.connect(sock_path)
+            transport = SocketTransport(client, timeout_s=0.2,
+                                        telemetry=telemetry,
+                                        sanitizer=sanitizer)
+            served, _ = listener.accept()  # connected; never replies
+            with pytest.raises(TransportError, match="timed out"):
+                transport.request(make_report(), 1.0)
+        finally:
+            if transport is not None:
+                # close() asserts the sanitizer's span ledger balanced:
+                # a leaked span would raise SanitizerError here.
+                transport.close()
+            if served is not None:
+                served.close()
+            listener.close()
+        assert _span_counts(telemetry) == \
+            {(SPAN_CLIENT_REQUEST, STATUS_ERROR): 1}
+        assert validate_spans(telemetry.tracer.sink.records) == []
+
+    def test_server_death_closes_the_client_span_with_error(
+            self, sock_path, asyncio_log):
+        telemetry = Telemetry.capture()
+        sanitizer = Sanitizer.resolve(True)
+        daemon = make_daemon(telemetry=telemetry)
+        hosted = DaemonThread(daemon, path=sock_path).start()
+        transport = SocketTransport.connect_unix(
+            sock_path, daemon.codec, timeout_s=10.0,
+            telemetry=telemetry, sanitizer=sanitizer)
+        try:
+            transport.request(make_report(0), 1.0)
+            hosted.stop()
+            with pytest.raises(TransportError):
+                transport.request(make_report(1), 2.0)
+        finally:
+            transport.close()
+            hosted.stop()
+        counts = _span_counts(telemetry)
+        # One exchange succeeded, the post-shutdown one failed.
+        assert counts[(SPAN_CLIENT_REQUEST, STATUS_OK)] == 1
+        assert counts[(SPAN_CLIENT_REQUEST, STATUS_ERROR)] == 1
+        assert validate_spans(telemetry.tracer.sink.records) == []
+        assert _asyncio_records(asyncio_log) == []
+
+    def test_lossy_exhaustion_closes_the_span_with_error(self):
+        """The in-process lossy transport honours the same contract:
+        an attempt-budget exhaustion closes its ``lossy_request`` span
+        with error status, never leaking it."""
+        telemetry = Telemetry.capture()
+        registry = AlarmRegistry()
+        registry.install(Rect(100, 100, 200, 200), AlarmScope.PUBLIC, 1)
+        grid = GridOverlay(Rect(0, 0, 4000, 4000), cell_area_km2=1.0)
+        server = AlarmServer(registry, grid, Metrics(),
+                             telemetry=telemetry)
+        lossy = LossyTransport(server, EVALUATE_ONLY, uplink_drop=0.99,
+                               seed=7, max_attempts=2)
+        with pytest.raises(TransportError):
+            lossy.request(make_report(), 0.0)
+        assert _span_counts(telemetry) == \
+            {(SPAN_LOSSY_REQUEST, STATUS_ERROR): 1}
+        assert validate_spans(telemetry.tracer.sink.records) == []

@@ -20,8 +20,9 @@ from repro.protocol.framing import (FRAME_HEADER_SIZE, FRAME_MAGIC,
                                     FrameKind, FramingError,
                                     TruncatedFrameError, decode_error,
                                     decode_hello, decode_reply,
-                                    encode_error, encode_frame,
-                                    encode_hello, encode_reply,
+                                    decode_stats, encode_error,
+                                    encode_frame, encode_hello,
+                                    encode_reply, encode_stats,
                                     reply_summary)
 from repro.protocol.messages import (AlarmNotification, InstallSafePeriod,
                                      InstallSafeRegion, LocationReport)
@@ -108,8 +109,9 @@ class TestRejection:
             FrameDecoder().feed(bytes(stream))
 
     def test_oversized_length_rejected_before_buffering(self):
-        header = struct.pack("<BBHId", FRAME_MAGIC, int(FrameKind.REQUEST),
-                             0, MAX_FRAME_PAYLOAD + 1, 0.0)
+        header = struct.pack("<BBHIdQQ", FRAME_MAGIC,
+                             int(FrameKind.REQUEST), 0,
+                             MAX_FRAME_PAYLOAD + 1, 0.0, 0, 0)
         with pytest.raises(FramingError, match="cap"):
             FrameDecoder().feed(header)
 
@@ -117,8 +119,8 @@ class TestRejection:
         with pytest.raises(FramingError, match="cap"):
             encode_frame(FrameKind.PUSH, b"\0" * (MAX_FRAME_PAYLOAD + 1))
 
-    @given(cut=st.integers(min_value=1, max_value=47))
-    @settings(max_examples=47, deadline=None)
+    @given(cut=st.integers(min_value=1, max_value=63))
+    @settings(max_examples=63, deadline=None)
     def test_truncated_stream_raises_on_finish(self, cut):
         stream = encode_frame(FrameKind.REQUEST, b"z" * 32)
         assert len(stream) == FRAME_HEADER_SIZE + 32
@@ -146,7 +148,7 @@ class TestRejection:
 
 class TestHelloAndError:
     def test_hello_roundtrip(self):
-        assert decode_hello(encode_hello()) == 1
+        assert decode_hello(encode_hello()) == 2
 
     def test_hello_version_mismatch(self):
         with pytest.raises(FramingError, match="version"):
@@ -251,3 +253,57 @@ class TestReplyBatches:
         assert decoded[0].cell_ref == cell_ref
         probe = decoded[0].bitmap.probe(Point(1.5, 1.5))
         assert probe == bitmap.probe(Point(1.5, 1.5))
+
+
+class TestTraceEnvelope:
+    """The trace context rides the fixed header: 64-bit trace and span
+    ids, defaulting to 0 (untraced), surviving any chunking."""
+
+    @given(kind=kinds, payload=payloads, time_s=times,
+           trace_id=st.integers(min_value=0, max_value=2 ** 64 - 1),
+           span_id=st.integers(min_value=0, max_value=2 ** 64 - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_trace_pair_roundtrips(self, kind, payload, time_s,
+                                   trace_id, span_id):
+        stream = encode_frame(kind, payload, time_s, trace_id, span_id)
+        decoder = FrameDecoder()
+        frames_out = decoder.feed(stream)
+        decoder.finish()
+        assert frames_out == [Frame(kind, time_s, payload,
+                                    trace_id, span_id)]
+
+    def test_untraced_frames_default_to_zero(self):
+        decoder = FrameDecoder()
+        frame = decoder.feed(encode_frame(FrameKind.REQUEST, b"x", 1.0))[0]
+        assert frame.trace_id == 0
+        assert frame.span_id == 0
+
+
+class TestStatsCodec:
+    def test_roundtrip_is_canonical(self):
+        snapshot = {"metrics": {"uplink_messages": 3},
+                    "live": {"connections_open": 1},
+                    "serving": {"batch_max": 64}}
+        payload = encode_stats(snapshot)
+        # Canonical JSON: sorted keys, no whitespace — two encodings of
+        # equal mappings are byte-identical regardless of insertion
+        # order.
+        shuffled = {"serving": {"batch_max": 64},
+                    "live": {"connections_open": 1},
+                    "metrics": {"uplink_messages": 3}}
+        assert payload == encode_stats(shuffled)
+        assert b" " not in payload
+        assert decode_stats(payload) == snapshot
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(FramingError, match="JSON object"):
+            decode_stats(b"[1, 2, 3]")
+
+    def test_garbage_payload_rejected(self):
+        with pytest.raises(FramingError, match="undecodable"):
+            decode_stats(b"\xff\xfe not json")
+
+    def test_oversized_snapshot_rejected(self):
+        snapshot = {"blob": "x" * (MAX_FRAME_PAYLOAD + 1)}
+        with pytest.raises(FramingError, match="frame cap"):
+            encode_stats(snapshot)

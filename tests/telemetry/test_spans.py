@@ -1,0 +1,94 @@
+"""Span vocabulary: trace ids and stream well-formedness."""
+
+from repro.telemetry.spans import (CLIENT_TRACE_SHIFT, ROOT_SPAN_ID,
+                                   SERVER_SPAN_IDS, make_trace_id,
+                                   span_close_counts, validate_spans)
+
+
+def _open(trace, span, parent, name, shard=0):
+    return {"record": "event", "type": "span_open", "t": 0.0,
+            "shard": shard, "trace": trace, "span": span,
+            "parent": parent, "name": name}
+
+
+def _close(trace, span, status="ok", shard=0):
+    return {"record": "event", "type": "span_close", "t": 0.0,
+            "shard": shard, "trace": trace, "span": span,
+            "status": status, "elapsed_us": 1.0}
+
+
+class TestMakeTraceId:
+    def test_salts_client_id_above_the_counter(self):
+        assert make_trace_id(0, 1) == 1
+        assert make_trace_id(3, 7) == (3 << CLIENT_TRACE_SHIFT) | 7
+
+    def test_distinct_transports_never_collide(self):
+        ids = {make_trace_id(client, counter)
+               for client in range(3) for counter in range(1, 100)}
+        assert len(ids) == 3 * 99
+
+
+class TestValidateSpans:
+    def test_balanced_tree_is_clean(self):
+        events = [_open(5, ROOT_SPAN_ID, 0, "client_request")]
+        for name, span in SERVER_SPAN_IDS.items():
+            events.append(_open(5, span, ROOT_SPAN_ID, name))
+            events.append(_close(5, span))
+        events.append(_close(5, ROOT_SPAN_ID))
+        assert validate_spans(events) == []
+
+    def test_remote_root_parent_is_well_formed(self):
+        """A serve trace of a distributed run holds the server children
+        while the client root lives in the client's own trace — a child
+        parented on the absent ROOT_SPAN_ID must not flag."""
+        events = [_open(5, 2, ROOT_SPAN_ID, "decode"), _close(5, 2)]
+        assert validate_spans(events) == []
+
+    def test_other_missing_parents_still_flag(self):
+        events = [_open(5, 4, 3, "handle"), _close(5, 4)]
+        problems = validate_spans(events)
+        assert len(problems) == 1
+        assert "never opened" in problems[0]
+
+    def test_double_open_flags(self):
+        events = [_open(5, 1, 0, "a"), _open(5, 1, 0, "a"),
+                  _close(5, 1)]
+        assert any("opened twice" in p for p in validate_spans(events))
+
+    def test_close_without_open_flags(self):
+        assert any("not open" in p
+                   for p in validate_spans([_close(5, 1)]))
+
+    def test_leaked_span_flags(self):
+        problems = validate_spans([_open(5, 1, 0, "client_request")])
+        assert any("never closed" in p for p in problems)
+
+    def test_untraced_zero_ids_flag(self):
+        problems = validate_spans([_open(0, 1, 0, "a")])
+        assert any("untraced id 0" in p for p in problems)
+
+    def test_bad_status_flags(self):
+        events = [_open(5, 1, 0, "a"), _close(5, 1, status="meh")]
+        assert any("status" in p for p in validate_spans(events))
+
+    def test_shards_are_independent_trees(self):
+        events = [_open(5, 1, 0, "a", shard=0),
+                  _close(5, 1, shard=0),
+                  _open(5, 1, 0, "a", shard=1),
+                  _close(5, 1, shard=1)]
+        assert validate_spans(events) == []
+
+
+class TestSpanCloseCounts:
+    def test_joins_names_across_the_pair(self):
+        events = [_open(5, 1, 0, "client_request"),
+                  _close(5, 1, status="ok"),
+                  _open(6, 1, 0, "client_request"),
+                  _close(6, 1, status="error")]
+        assert span_close_counts(events) == {
+            ("client_request", "ok"): 1,
+            ("client_request", "error"): 1,
+        }
+
+    def test_orphan_close_counts_under_question_mark(self):
+        assert span_close_counts([_close(5, 1)]) == {("?", "ok"): 1}

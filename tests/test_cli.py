@@ -145,6 +145,45 @@ class TestReport:
         assert "FAILED" in capsys.readouterr().out
 
 
+class TestStatsAndTop:
+    @pytest.fixture
+    def served(self, tmp_path):
+        from repro.net import DaemonThread
+        from tests.net.conftest import make_daemon
+
+        path = str(tmp_path / "daemon.sock")
+        daemon = make_daemon()
+        with DaemonThread(daemon, path=path):
+            yield path
+
+    def test_stats_text_scrape(self, served, capsys):
+        assert main(["stats", "--uds", served]) == 0
+        out = capsys.readouterr().out
+        assert "daemon stats" in out
+        assert "connections open" in out
+
+    def test_stats_json_scrape(self, served, capsys):
+        assert main(["stats", "--uds", served, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["serving"]["protocol_version"] == 2
+        assert "scrape_rtt_us" in payload
+
+    def test_stats_prom_scrape(self, served, capsys):
+        assert main(["stats", "--uds", served, "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_live_connections_open gauge" in out
+
+    def test_stats_needs_an_endpoint(self):
+        with pytest.raises(SystemExit):
+            main(["stats"])
+
+    def test_top_bounded_iterations(self, served, capsys):
+        assert main(["top", "--uds", served, "--interval", "0.01",
+                     "--iterations", "2", "--no-clear"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("repro top") == 2
+
+
 class TestTrace:
     def test_tail_defaults_to_last_events(self, trace_path, capsys):
         assert main(["trace", "tail", str(trace_path)]) == 0

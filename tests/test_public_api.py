@@ -36,12 +36,15 @@ class TestPublicSurface:
         import repro.geometry
         import repro.index
         import repro.mobility
+        import repro.net
         import repro.roadnet
         import repro.saferegion
         import repro.strategies
+        import repro.telemetry
 
         for module in (repro.alarms, repro.engine, repro.experiments,
                        repro.geometry, repro.index, repro.mobility,
-                       repro.roadnet, repro.saferegion, repro.strategies):
+                       repro.net, repro.roadnet, repro.saferegion,
+                       repro.strategies, repro.telemetry):
             for name in module.__all__:
                 assert hasattr(module, name), (module.__name__, name)
