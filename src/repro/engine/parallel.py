@@ -136,11 +136,11 @@ def _replay_inherited_shard(index: int) -> _ShardOutcome:
     assert _INHERITED is not None, "inherited state missing in fork child"
     (registry, grid, shards, sizes, strategy_factory, use_cell_cache,
      profile, trace, transport_factory, use_region_cache,
-     sanitize) = _INHERITED
+     sanitize, use_batch) = _INHERITED
     return _replay_shard(registry, grid, shards[index], sizes,
                          strategy_factory, use_cell_cache, profile,
                          trace, index, transport_factory, use_region_cache,
-                         sanitize)
+                         sanitize, use_batch)
 
 
 def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
@@ -151,7 +151,8 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
                   shard_index: int = 0,
                   transport_factory: Optional[TransportFactory] = None,
                   use_region_cache: bool = False,
-                  sanitize: bool = False) -> _ShardOutcome:
+                  sanitize: bool = False,
+                  use_batch: bool = False) -> _ShardOutcome:
     """Worker body: replay one shard against a private server.
 
     Top-level by design (process pools pickle the callable).  Returns
@@ -171,13 +172,15 @@ def _replay_shard(registry: AlarmRegistry, grid: GridOverlay,
     server = AlarmServer(registry, grid, metrics, sizes=sizes,
                          use_cell_cache=use_cell_cache,
                          use_region_cache=use_region_cache,
-                         profiler=profiler, telemetry=telemetry)
+                         profiler=profiler, telemetry=telemetry,
+                         use_batch=use_batch)
     connect(server, strategy, transport_factory)
     if telemetry.enabled:
         telemetry.shard_started(len(traces))
     started = time.perf_counter()
     try:
-        replay_vehicle_major(strategy, traces, sanitizer)
+        replay_vehicle_major(strategy, traces, sanitizer,
+                             use_batch=use_batch)
     finally:
         server.close()
     wall_time = time.perf_counter() - started
@@ -198,7 +201,8 @@ def run_parallel_simulation(world: World,
                             transport_factory: Optional[TransportFactory]
                             = None,
                             use_region_cache: bool = False,
-                            sanitize: Optional[bool] = None
+                            sanitize: Optional[bool] = None,
+                            use_batch: bool = False
                             ) -> SimulationResult:
     """Replay the world sharded over ``workers`` processes and merge.
 
@@ -222,6 +226,11 @@ def run_parallel_simulation(world: World,
     outcome; the parent folds them into ``telemetry`` in shard order, so
     a traced parallel run produces one coherent event stream and one
     merged registry — reconcilable against the merged ``Metrics``.
+
+    ``use_batch`` replays each shard through the vectorized batch
+    kernels (see ``docs/VECTORIZATION.md``).  The batch contract is
+    observational identity, so the merged metrics stay bit-identical to
+    the scalar serial run either way.
     """
     if workers is None:
         workers = default_worker_count()
@@ -250,7 +259,8 @@ def run_parallel_simulation(world: World,
             outcomes.append(_replay_shard(
                 world.registry, world.grid, shard, world.sizes,
                 strategy_factory, use_cell_cache, profile, trace, 0,
-                transport_factory, use_region_cache, sanitize_shards))
+                transport_factory, use_region_cache, sanitize_shards,
+                use_batch))
     elif multiprocessing.get_start_method() == "fork":
         # Fast path: fork children inherit the shard payload through
         # copy-on-write memory, so only a shard *index* crosses the
@@ -260,7 +270,8 @@ def run_parallel_simulation(world: World,
         global _INHERITED
         _INHERITED = (world.registry, world.grid, shards, world.sizes,
                       strategy_factory, use_cell_cache, profile, trace,
-                      transport_factory, use_region_cache, sanitize_shards)
+                      transport_factory, use_region_cache, sanitize_shards,
+                      use_batch)
         try:
             with ProcessPoolExecutor(max_workers=len(shards),
                                      initializer=_worker_init) as pool:
@@ -276,7 +287,7 @@ def run_parallel_simulation(world: World,
                                    shard, world.sizes, strategy_factory,
                                    use_cell_cache, profile, trace, index,
                                    transport_factory, use_region_cache,
-                                   sanitize_shards)
+                                   sanitize_shards, use_batch)
                        for index, shard in enumerate(shards)]
             outcomes = [future.result() for future in futures]  # shard order
 

@@ -146,16 +146,40 @@ def sanitize_transport_factory(
 
 def replay_vehicle_major(strategy: "ProcessingStrategy",
                          traces: TraceSet,
-                         sanitizer: Optional[Sanitizer] = None) -> None:
+                         sanitizer: Optional[Sanitizer] = None,
+                         use_batch: bool = False) -> None:
     """The core replay loop: each vehicle's trace, one client at a time.
 
     Shared by the serial engine and every shard of the parallel engine —
     determinism of the sharded path reduces to this loop visiting the
     same vehicles in the same order within each contiguous shard.
+
+    ``use_batch`` hands each client's whole trace to the strategy's
+    :meth:`~repro.strategies.base.ProcessingStrategy.on_batch` as one
+    SoA :class:`~repro.mobility.batch.SampleBatch` instead of sample by
+    sample.  The batch contract requires observational identity — same
+    messages in the same order, same counter totals — so both modes
+    produce bit-identical runs; the differential suite
+    (``tests/engine/test_batch_equivalence.py``) enforces it.
     """
     from ..strategies.base import ClientState  # local import: avoid cycle
+    from ..strategies.base import ProcessingStrategy
 
     sanitizer = sanitizer if sanitizer is not None else SANITIZER_OFF
+    # Building the SoA batch costs O(samples); a strategy that kept the
+    # default on_batch (the scalar loop) would never read it, so batch
+    # mode only engages for strategies that actually override it.
+    if use_batch and (type(strategy).on_batch
+                      is not ProcessingStrategy.on_batch):
+        for trace in traces:
+            client = ClientState(trace.vehicle_id)
+            batch = trace.batch()
+            if len(batch) == 0:
+                continue
+            if sanitizer.enabled:
+                sanitizer.check_clock_batch(trace.vehicle_id, batch.times)
+            strategy.on_batch(client, batch)
+        return
     for trace in traces:
         client = ClientState(trace.vehicle_id)
         for sample in trace:
@@ -170,7 +194,8 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
                    telemetry: Optional[Telemetry] = None,
                    transport_factory: Optional[TransportFactory] = None,
                    use_region_cache: bool = False,
-                   sanitize: Optional[bool] = None
+                   sanitize: Optional[bool] = None,
+                   use_batch: bool = False
                    ) -> SimulationResult:
     """Replay the world's traces through ``strategy`` and score the run.
 
@@ -191,7 +216,10 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
     attribute check.  ``sanitize`` attaches the runtime invariant
     sanitizer (see :mod:`repro.sanitize`); ``None`` consults
     ``REPRO_SANITIZE``, and a disabled run carries the shared no-op
-    sanitizer at the same one-attribute-check cost.
+    sanitizer at the same one-attribute-check cost.  ``use_batch``
+    replays through the vectorized batch kernels (see
+    ``docs/VECTORIZATION.md``); results are bit-identical to the
+    scalar replay — the flag trades nothing but speed.
     """
     telemetry = telemetry if telemetry is not None else DISABLED
     sanitizer = Sanitizer.resolve(sanitize)
@@ -202,13 +230,15 @@ def run_simulation(world: World, strategy: "ProcessingStrategy",
     server = AlarmServer(world.registry, world.grid, metrics,
                          sizes=world.sizes, use_cell_cache=use_cell_cache,
                          use_region_cache=use_region_cache,
-                         profiler=profiler, telemetry=telemetry)
+                         profiler=profiler, telemetry=telemetry,
+                         use_batch=use_batch)
     connect(server, strategy, transport_factory)
     if telemetry.enabled:
         telemetry.shard_started(len(world.traces))
     started = time.perf_counter()
     try:
-        replay_vehicle_major(strategy, world.traces, sanitizer)
+        replay_vehicle_major(strategy, world.traces, sanitizer,
+                             use_batch=use_batch)
     finally:
         server.close()
     wall_time = time.perf_counter() - started

@@ -215,7 +215,8 @@ class ForkSafetyRule(LintRule):
     # state would alias across connections exactly as it would across
     # forked shards.
     scopes = ("engine", "strategies", "saferegion", "index", "alarms",
-              "geometry", "mobility", "telemetry", "protocol", "net")
+              "geometry", "mobility", "telemetry", "protocol", "net",
+              "bench")
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:
         mutables = _module_level_mutables(ctx.tree)

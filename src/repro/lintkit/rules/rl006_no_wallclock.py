@@ -42,7 +42,8 @@ class NoWallclockRule(LintRule):
     # *simulation* clock on its envelope, so the serving side must stay
     # wallclock-free outside sanctioned perf_counter latency probes.
     scopes = ("engine", "strategies", "saferegion", "index", "geometry",
-              "mobility", "alarms", "telemetry", "protocol", "net")
+              "mobility", "alarms", "telemetry", "protocol", "net",
+              "bench")
     exempt_files = ("engine/profiling.py",)
 
     def check(self, ctx: RuleContext) -> Iterator[Diagnostic]:

@@ -1,0 +1,52 @@
+"""Structure-of-arrays view of a mobility trace.
+
+The batched engine advances one vehicle's whole trace through
+vectorized kernels; :class:`SampleBatch` is the column layout those
+kernels consume — parallel time and coordinate arrays plus the
+original :class:`~repro.mobility.trace.TraceSample` list, so the
+non-silent samples (reports, exits, firings) can be handed back to
+the unchanged scalar strategy code.
+
+This module needs numpy; the scalar trace containers in
+:mod:`repro.mobility.trace` import it lazily so the package stays
+importable without it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.batch import FloatArray, PointBatch
+from .trace import TraceSample
+
+
+class SampleBatch:
+    """One trace's samples as parallel arrays.
+
+    ``times`` is the per-sample clock, ``points`` the positions; both
+    index-aligned with ``samples``.  Headings and speeds stay on the
+    scalar samples — only the silent-run scans are vectorized, and a
+    silent sample's heading is never read.
+    """
+
+    __slots__ = ("samples", "times", "points")
+
+    def __init__(self, samples: Sequence[TraceSample]) -> None:
+        self.samples = list(samples)
+        count = len(self.samples)
+        times: FloatArray = np.fromiter(
+            (sample.time for sample in self.samples),
+            dtype=np.float64, count=count)
+        xs: FloatArray = np.fromiter(
+            (sample.position.x for sample in self.samples),
+            dtype=np.float64, count=count)
+        ys: FloatArray = np.fromiter(
+            (sample.position.y for sample in self.samples),
+            dtype=np.float64, count=count)
+        self.times = times
+        self.points = PointBatch(xs, ys)
+
+    def __len__(self) -> int:
+        return len(self.samples)

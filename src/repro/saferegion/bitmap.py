@@ -303,11 +303,16 @@ class LazyPyramidBitmap:
 class BitmapSafeRegion(SafeRegion):
     """A pyramid bitmap (eager or lazy) in the role of a client safe region."""
 
-    __slots__ = ("bitmap",)
+    __slots__ = ("bitmap", "batch_probe")
 
     def __init__(self, bitmap: Union[PyramidBitmap,
                                      "LazyPyramidBitmap"]) -> None:
         self.bitmap = bitmap
+        # Populated on demand by repro.saferegion.packed.probe_for —
+        # the batch-mode probe kernel, cached here so packing amortizes
+        # over the region's lifetime.  Typed loosely to keep this
+        # module import-independent of the numpy-backed kernels.
+        self.batch_probe: Optional[object] = None
 
     def probe(self, p: Point) -> Tuple[bool, int]:
         return self.bitmap.probe(p)

@@ -45,7 +45,8 @@ class HuBaselineComputer:
     """
 
     def compute(self, position: Point, heading: float, cell: Rect,
-                obstacles: Sequence[Rect]) -> "_HuResult":
+                obstacles: Sequence[Rect],
+                batched: bool = False) -> "_HuResult":
         """Safe-region rectangle per the corner-per-quadrant construction.
 
         For each alarm-region corner, the corner constrains only the
@@ -53,7 +54,9 @@ class HuBaselineComputer:
         nearest constraining corner, and the rectangle spans between
         those per-quadrant caps (cell-clipped).  Degenerate by design:
         regions straddling an axis or overlapping each other are
-        mishandled exactly as in the original.
+        mishandled exactly as in the original.  ``batched`` is accepted
+        for signature compatibility with the MWPSR computer and ignored
+        — the corner scan has no vectorized variant.
         """
         if not cell.contains_point(position):
             raise ValueError("subscriber position outside its grid cell")

@@ -65,16 +65,18 @@ class TestReconcile:
         result = reconcile(read_trace(path))
         assert result["ok"] is True
         assert all(entry["ok"] for entry in result["checks"])
-        # 27 = the 10 original counter checks, the transport-drop and
+        # 29 = the 10 original counter checks, the transport-drop and
         # safe-region-cache counters added with the protocol layer, the
         # registry-vs-event exit check and the per-kind downlink
         # prefix-sum check added with the contract analyzer, the four
-        # net_* serving-path pairs added with the socket daemon, and
-        # the seven tracing rows (spans_opened/closed vs events, span
+        # net_* serving-path pairs added with the socket daemon, the
+        # seven tracing rows (spans_opened/closed vs events, span
         # balance, client_request-vs-RTT and the three server pipeline
         # stages) added with the distributed-tracing layer (all 0 == 0
-        # on a trace with no network serving, like this one).
-        assert len(result["checks"]) == 27
+        # on a trace with no network serving, like this one), and the
+        # two scalar+batch probe-counter group sums added with batch
+        # mode (RECONCILE_GROUP_SUMS).
+        assert len(result["checks"]) == 29
 
     def test_dropped_event_breaks_reconciliation(self, tmp_path):
         path = tmp_path / "t.jsonl"

@@ -38,7 +38,8 @@ class TinyBoxComputer:
 
     SIDE = 60.0
 
-    def compute(self, position, heading, cell, obstacles):
+    def compute(self, position, heading, cell, obstacles,
+                batched=False):
         box = Rect(position.x - self.SIDE, position.y - self.SIDE,
                    position.x + self.SIDE, position.y + self.SIDE)
         region = box.intersection(cell)
