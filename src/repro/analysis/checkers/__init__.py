@@ -7,4 +7,5 @@ decorated class, import it here, document it in
 """
 
 from . import (pa001_protocol, pa002_telemetry, pa003_fork,  # noqa: F401
-               pa004_debt, pa005_blocking, pa006_races, pa007_tasks)
+               pa004_debt, pa005_blocking, pa006_races, pa007_tasks,
+               pa008_session, pa009_leaks, pa010_causality)

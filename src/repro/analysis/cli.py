@@ -16,7 +16,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from ..lintkit.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS
-from ..lintkit.sarif import to_sarif
+from ..lintkit.sarif import RuleMetadata, to_sarif
 from .base import ALL_CHECKERS, get_checker
 from .model import AnalysisError
 from .runner import run_analysis
@@ -40,6 +40,14 @@ def add_analyze_arguments(parser: argparse.ArgumentParser) -> None:
                         help="pragma-debt ledger for PA004 "
                              "(default: lint_debt.json found from the "
                              "root upward)")
+    parser.add_argument("--jobs", type=int, default=0, metavar="N",
+                        help="parse with N worker processes when the "
+                             "tree is large enough (default: serial)")
+    parser.add_argument("--sarif-base-uri", default=None,
+                        metavar="URL", dest="sarif_base_uri",
+                        help="prefix rule helpUris with this URL in "
+                             "SARIF output (e.g. a repository blob "
+                             "URL)")
 
 
 def run_analyze_command(args: argparse.Namespace) -> int:
@@ -60,7 +68,7 @@ def run_analyze_command(args: argparse.Namespace) -> int:
     try:
         report = run_analysis(root=args.root,
                               checker_classes=checker_classes,
-                              debt_path=args.debt)
+                              debt_path=args.debt, jobs=args.jobs)
     except AnalysisError as exc:
         print("error: %s" % exc)
         return EXIT_ERROR
@@ -68,8 +76,9 @@ def run_analyze_command(args: argparse.Namespace) -> int:
         print(report.to_json())
     elif args.output_format == "sarif":
         print(to_sarif(report, "repro-analyze",
-                       [(cls.checker_id, cls.title)
-                        for cls in ALL_CHECKERS()]))
+                       [RuleMetadata.of(cls.checker_id, cls.title, cls)
+                        for cls in ALL_CHECKERS()],
+                       base_uri=args.sarif_base_uri))
     else:
         print(report.render_text())
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS

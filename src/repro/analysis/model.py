@@ -204,6 +204,36 @@ def _class_info(node: ast.ClassDef) -> ClassInfo:
                      fields=tuple(fields_))
 
 
+#: Minimum tree size before ``--jobs`` forks a parse pool.  Below it,
+#: pool spin-up plus result pickling costs more than the parses.
+PARALLEL_THRESHOLD = 50
+
+
+def _parse_path(root: Path, path: Path, rel_path: str) -> "ModuleInfo":
+    """Read and parse one file into its :class:`ModuleInfo`."""
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError("cannot read %s: %s" % (path, exc)) from exc
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise AnalysisError("cannot parse %s: %s" % (path, exc)) from exc
+    return ProjectModel._module_info(root, path, rel_path, source, tree)
+
+
+def _parse_one(work: Tuple[str, str, str]) -> Tuple[str, "ModuleInfo"]:
+    """Process-pool worker: one ``(root, path, rel_path)`` → module.
+
+    Module-level and pure (no state beyond its argument) so it pickles
+    to worker processes and a parallel build is bit-identical to a
+    serial one.  :class:`AnalysisError` pickles too — a worker's parse
+    failure surfaces in the parent exactly as the serial loop's would.
+    """
+    root_s, path_s, rel_path = work
+    return rel_path, _parse_path(Path(root_s), Path(path_s), rel_path)
+
+
 class ProjectModel:
     """All modules under one root, parsed once, with resolved imports."""
 
@@ -218,8 +248,15 @@ class ProjectModel:
 
     # -- construction --------------------------------------------------
     @classmethod
-    def build(cls, root: Path) -> "ProjectModel":
+    def build(cls, root: Path, jobs: int = 0) -> "ProjectModel":
         """Parse every ``.py`` file under ``root`` into a model.
+
+        ``jobs`` > 1 parses with that many worker processes once the
+        tree is large enough to amortize the pool spin-up (see
+        :data:`PARALLEL_THRESHOLD`); the resulting model is identical
+        to a serial build — workers are pure path→``ModuleInfo``
+        functions and results are collected in the same sorted-path
+        order.
 
         Raises :class:`AnalysisError` when the root is missing, is not
         a directory, or any file fails to read or parse — the analyzer
@@ -228,21 +265,20 @@ class ProjectModel:
         root = Path(root)
         if not root.is_dir():
             raise AnalysisError("no such directory: %s" % root)
+        paths = sorted(root.rglob("*.py"))
         modules: Dict[str, ModuleInfo] = {}
-        for path in sorted(root.rglob("*.py")):
+        if jobs > 1 and len(paths) > PARALLEL_THRESHOLD:
+            from concurrent.futures import ProcessPoolExecutor
+            work = [(str(root), str(path),
+                     path.relative_to(root).as_posix())
+                    for path in paths]
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                for rel_path, info in pool.map(_parse_one, work):
+                    modules[rel_path] = info
+            return cls(root, modules)
+        for path in paths:
             rel_path = path.relative_to(root).as_posix()
-            try:
-                source = path.read_text(encoding="utf-8")
-            except OSError as exc:
-                raise AnalysisError("cannot read %s: %s"
-                                    % (path, exc)) from exc
-            try:
-                tree = ast.parse(source, filename=str(path))
-            except SyntaxError as exc:
-                raise AnalysisError("cannot parse %s: %s"
-                                    % (path, exc)) from exc
-            modules[rel_path] = cls._module_info(root, path, rel_path,
-                                                 source, tree)
+            modules[rel_path] = _parse_path(root, path, rel_path)
         return cls(root, modules)
 
     @classmethod

@@ -29,16 +29,18 @@ def package_root() -> Path:
 def run_analysis(root: Optional[Path] = None,
                  checker_classes: Optional[Sequence[Type[Checker]]]
                  = None,
-                 debt_path: Optional[Path] = None) -> LintReport:
+                 debt_path: Optional[Path] = None,
+                 jobs: int = 0) -> LintReport:
     """Analyze the tree under ``root`` and return the report.
 
     ``checker_classes`` defaults to every registered checker;
     ``debt_path`` overrides PA004's upward search for
-    ``lint_debt.json``.  Raises :class:`AnalysisError` on unreadable
-    or unparsable input.
+    ``lint_debt.json``; ``jobs`` > 1 parallelizes the parse phase
+    (identical findings — see :meth:`ProjectModel.build`).  Raises
+    :class:`AnalysisError` on unreadable or unparsable input.
     """
     root = Path(root) if root is not None else package_root()
-    model = ProjectModel.build(root)
+    model = ProjectModel.build(root, jobs=jobs)
     classes = (list(checker_classes) if checker_classes is not None
                else ALL_CHECKERS())
     diagnostics: List[Diagnostic] = []

@@ -17,7 +17,7 @@ from typing import List, Optional
 
 from .base import ALL_RULES, get_rule
 from .runner import LintError, run_lint
-from .sarif import to_sarif
+from .sarif import RuleMetadata, to_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -37,6 +37,11 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         help="run only this rule id (repeatable)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--sarif-base-uri", default=None,
+                        metavar="URL", dest="sarif_base_uri",
+                        help="prefix rule helpUris with this URL in "
+                             "SARIF output (e.g. a repository blob "
+                             "URL)")
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -63,7 +68,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
         print(report.to_json())
     elif args.output_format == "sarif":
         print(to_sarif(report, "repro-lint",
-                       [(cls.rule_id, cls.title) for cls in ALL_RULES()]))
+                       [RuleMetadata.of(cls.rule_id, cls.title, cls)
+                        for cls in ALL_RULES()],
+                       base_uri=args.sarif_base_uri))
     else:
         print(report.render_text())
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS

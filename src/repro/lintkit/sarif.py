@@ -7,15 +7,26 @@ by ``repro lint`` and ``repro analyze``: both produce the same
 :class:`~repro.lintkit.runner.LintReport`, so a finding's provenance
 (which tool, which rule catalogue) is the only thing that differs.
 
-The output is deliberately minimal — one run, one driver, one result
-per diagnostic with a single physical location — which is the subset
-every SARIF consumer supports.
+Every rule ships its full metadata: the one-line title as
+``shortDescription``, the first paragraph of the rule class's
+docstring as ``fullDescription``, and a ``helpUri`` pointing at the
+rule's section of ``docs/STATIC_ANALYSIS.md`` — so a code-scanning
+upload renders a description and a "learn more" link instead of a bare
+rule id.  The anchor scheme mirrors GitHub's heading slugging of
+``### RL001 — frozen-geometry`` style headings; the docs test pins
+that every generated anchor resolves to a real heading.
+
+The output is otherwise deliberately minimal — one run, one driver,
+one result per diagnostic with a single physical location — which is
+the subset every SARIF consumer supports.
 """
 
 from __future__ import annotations
 
+import inspect
 import json
-from typing import Dict, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from .runner import LintReport
 
@@ -24,20 +35,66 @@ SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
 
+#: Where the rule catalogue is documented, relative to the repo root.
+RULE_DOC_PATH = "docs/STATIC_ANALYSIS.md"
+
+
+@dataclass(frozen=True)
+class RuleMetadata:
+    """Everything SARIF wants to say about one rule."""
+
+    rule_id: str
+    #: ``"slug: one-line description"`` — the rule/checker title.
+    title: str
+    #: Full prose description (first docstring paragraph).
+    description: str
+
+    @property
+    def slug(self) -> str:
+        """The short rule name (the part of the title before ``:``)."""
+        return self.title.split(":", 1)[0].strip()
+
+    @property
+    def help_uri(self) -> str:
+        """Anchor into the rule's docs section.
+
+        Matches GitHub's slugging of the documented heading
+        ``### RL001 — frozen-geometry`` (lowercase, the em-dash
+        dropped, spaces to hyphens): ``rl001--frozen-geometry``.
+        """
+        return "%s#%s--%s" % (RULE_DOC_PATH, self.rule_id.lower(),
+                              self.slug)
+
+    @classmethod
+    def of(cls, rule_id: str, title: str,
+           rule_class: type) -> "RuleMetadata":
+        """Metadata for a rule/checker class, docstring included."""
+        doc = inspect.getdoc(rule_class) or title
+        first_paragraph = doc.split("\n\n", 1)[0].replace("\n", " ")
+        return cls(rule_id=rule_id, title=title,
+                   description=first_paragraph)
+
 
 def to_sarif(report: LintReport, tool_name: str,
-             rules: Sequence[Tuple[str, str]]) -> str:
+             rules: Sequence[RuleMetadata],
+             base_uri: Optional[str] = None) -> str:
     """Serialize a report as a SARIF 2.1.0 JSON document.
 
-    ``rules`` lists the tool's full catalogue as ``(id, title)`` pairs
-    — the catalogue, not just the rules that fired, so consumers can
-    render "0 of N rules failing" dashboards.
+    ``rules`` lists the tool's full catalogue — the catalogue, not
+    just the rules that fired, so consumers can render "0 of N rules
+    failing" dashboards.
     """
     driver: Dict[str, object] = {
         "name": tool_name,
-        "rules": [{"id": rule_id,
-                   "shortDescription": {"text": title}}
-                  for rule_id, title in rules],
+        "informationUri": (base_uri or "") + RULE_DOC_PATH,
+        "rules": [{
+            "id": meta.rule_id,
+            "name": meta.slug,
+            "shortDescription": {"text": meta.title},
+            "fullDescription": {"text": meta.description},
+            "helpUri": (base_uri or "") + meta.help_uri,
+            "defaultConfiguration": {"level": "error"},
+        } for meta in rules],
     }
     results: List[Mapping[str, object]] = []
     for diag in report.diagnostics:

@@ -45,6 +45,7 @@ from ..protocol.framing import (PROTOCOL_VERSION, Frame, FrameDecoder,
                                 encode_stats, reply_summary)
 from ..protocol.handlers import ServerPolicy
 from ..protocol.messages import Request, downlink_kind
+from ..protocol.spec import DIR_CLIENT_TO_SERVER, STATE_AWAIT_HELLO
 from ..protocol.transport import InProcessTransport
 from ..protocol.wire import WireCodec
 from ..sanitize import LOOP_WATCHDOG_INTERVAL_S, Sanitizer
@@ -244,12 +245,16 @@ class AlarmDaemon:
         queue: "asyncio.Queue[Optional[_QueuedRequest]]" = asyncio.Queue(
             maxsize=self.queue_limit)
         self._conn_queues[conn_id] = queue
-        worker = asyncio.create_task(
-            self._drain_queue(conn_id, queue, writer))
         decoder = FrameDecoder()
         requests = 0
         clean = True
         error: Optional[str] = None
+        session_state = STATE_AWAIT_HELLO
+        # Spawned last: every statement between this spawn and the
+        # try/finally that reaps the worker would be a window where an
+        # exception leaks the task (the PA009 contract).
+        worker = asyncio.create_task(
+            self._drain_queue(conn_id, queue, writer))
         try:
             greeted = False
             while True:
@@ -259,12 +264,25 @@ class AlarmDaemon:
                     break
                 for frame in decoder.feed(chunk):
                     if frame.kind is FrameKind.HELLO:
+                        if greeted:
+                            raise FramingError(
+                                "duplicate HELLO handshake")
                         decode_hello(frame.payload)
                         greeted = True
+                        if self._sanitizer.enabled:
+                            session_state = \
+                                self._sanitizer.check_session_transition(
+                                    session_state, "HELLO",
+                                    DIR_CLIENT_TO_SERVER)
                     elif frame.kind is FrameKind.REQUEST:
                         if not greeted:
                             raise FramingError(
                                 "REQUEST before the HELLO handshake")
+                        if self._sanitizer.enabled:
+                            session_state = \
+                                self._sanitizer.check_session_transition(
+                                    session_state, "REQUEST",
+                                    DIR_CLIENT_TO_SERVER)
                         traced = (telemetry.enabled
                                   and frame.trace_id != 0)
                         decode_started = (time.perf_counter() if traced
@@ -291,6 +309,11 @@ class AlarmDaemon:
                         if not greeted:
                             raise FramingError(
                                 "STATS before the HELLO handshake")
+                        if self._sanitizer.enabled:
+                            session_state = \
+                                self._sanitizer.check_session_transition(
+                                    session_state, "STATS",
+                                    DIR_CLIENT_TO_SERVER)
                         # Answered directly from the reader: one
                         # writer.write call is atomic with respect to
                         # the drain worker's coalesced writes, so the
@@ -302,6 +325,11 @@ class AlarmDaemon:
                             frame.span_id))
                         await writer.drain()
                     elif frame.kind is FrameKind.SHUTDOWN:
+                        if self._sanitizer.enabled:
+                            session_state = \
+                                self._sanitizer.check_session_transition(
+                                    session_state, "SHUTDOWN",
+                                    DIR_CLIENT_TO_SERVER)
                         self.request_stop()
                     else:
                         raise FramingError(
@@ -461,10 +489,13 @@ class AlarmDaemon:
         the client's root span id carried in the frame envelope.
         """
         span_id = SERVER_SPAN_IDS[name]
-        telemetry.span_open(time_s, trace_id, span_id, parent_id, name)
+        # Sanitizer bookkeeping runs before the telemetry pair so the
+        # open and close events are emitted back to back with nothing
+        # exception-capable between them (the PA009 contract).
         if self._sanitizer.enabled:
             self._sanitizer.note_span_open(trace_id, span_id)
             self._sanitizer.note_span_close(trace_id, span_id)
+        telemetry.span_open(time_s, trace_id, span_id, parent_id, name)
         telemetry.span_close(time_s, trace_id, span_id, STATUS_OK,
                              (time.perf_counter() - started) * 1e6)
 

@@ -148,7 +148,11 @@ class SocketTransport(Transport):
                     **kwargs: object) -> "SocketTransport":
         """Connect to a daemon listening on TCP ``host:port``."""
         sock = socket.create_connection((host, port))
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            sock.close()
+            raise
         return cls(sock, codec, **kwargs)  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
@@ -166,10 +170,13 @@ class SocketTransport(Transport):
             trace_id = make_trace_id(self._client_id, self._trace_count)
             span_id = ROOT_SPAN_ID
             started = time.perf_counter()
-            telemetry.span_open(time_s, trace_id, span_id, 0,
-                                SPAN_CLIENT_REQUEST)
+            # The sanitizer note runs first: once telemetry has opened
+            # the span, nothing exception-capable may run before the
+            # try block whose every exit closes it (PA009's contract).
             if self._sanitizer.enabled:
                 self._sanitizer.note_span_open(trace_id, span_id)
+            telemetry.span_open(time_s, trace_id, span_id, 0,
+                                SPAN_CLIENT_REQUEST)
         try:
             try:
                 sock.sendall(encode_frame(FrameKind.REQUEST, payload,

@@ -85,9 +85,11 @@ def scrape_stats(*, path: Optional[str] = None, host: str = "127.0.0.1",
     else:
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         target = (host, port)
-    sock.settimeout(timeout_s)
     try:
         try:
+            # Inside the try/finally: even settimeout must not be able
+            # to leak the socket (PA009's contract).
+            sock.settimeout(timeout_s)
             sock.connect(target)  # type: ignore[arg-type]
             sock.sendall(encode_frame(FrameKind.HELLO, encode_hello())
                          + encode_frame(FrameKind.STATS, b""))
@@ -116,6 +118,10 @@ def scrape_stats(*, path: Optional[str] = None, host: str = "127.0.0.1",
                 if frame.kind is FrameKind.STATS:
                     rtt_us = (time.perf_counter() - started) * 1e6
                     try:
+                        # A clean scrape ends the stream here: a
+                        # buffered partial frame means the server
+                        # wrote garbage after the snapshot.
+                        decoder.finish()
                         snapshot = decode_stats(frame.payload)
                     except FramingError as exc:
                         raise TransportError(

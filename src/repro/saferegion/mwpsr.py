@@ -176,10 +176,10 @@ class MWPSRComputer:
             combinations *= len(tension_list)
         if self.exhaustive or combinations <= self.auto_threshold:
             rect, perimeter, order = self._select_exhaustive(
-                position, heading, tension_lists)
+                position, heading, tension_lists, obstacles)
         else:
             rect, perimeter, order = self._select_greedy(
-                position, heading, cell, tension_lists)
+                position, heading, cell, tension_lists, obstacles)
 
         if self.validate and not region_is_safe(rect, obstacles):
             raise AssertionError(
@@ -271,12 +271,36 @@ class MWPSRComputer:
     # ------------------------------------------------------------------
     # Step 4: selection
     # ------------------------------------------------------------------
+    @staticmethod
+    def _penetrates_obstacle(rect: Rect, obstacles: Sequence[Rect],
+                             tolerance: float = 1e-9) -> bool:
+        """Point-set check: does any point of ``rect`` lie strictly
+        inside an obstacle?
+
+        Interior-disjointness (:func:`region_is_safe`) is vacuous for a
+        degenerate rectangle, but the client suppresses reporting for
+        every point the *closed* rectangle contains — so a zero-width
+        sliver threading an alarm's interior (possible when the
+        subscriber sits exactly on the alarm's boundary) would silence
+        the alarm.  Non-degenerate rectangles whose interiors avoid the
+        obstacles can never penetrate, so this only ever rejects
+        slivers.
+        """
+        for obstacle in obstacles:
+            if (rect.max_x > obstacle.min_x + tolerance
+                    and rect.min_x < obstacle.max_x - tolerance
+                    and rect.max_y > obstacle.min_y + tolerance
+                    and rect.min_y < obstacle.max_y - tolerance):
+                return True
+        return False
+
     def _quadrant_masses(self, heading: float) -> List[float]:
         return [self.model.world_sector_mass(heading, start, end)
                 for start, end in _QUADRANT_SECTORS]
 
     def _select_greedy(self, origin: Point, heading: float, cell: Rect,
-                       tension_lists: Sequence[List[Tuple[float, float]]]
+                       tension_lists: Sequence[List[Tuple[float, float]]],
+                       obstacles: Sequence[Rect]
                        ) -> Tuple[Rect, float, Tuple[int, ...]]:
         """The paper's greedy, hardened with coordinate-descent refinement.
 
@@ -308,7 +332,10 @@ class MWPSRComputer:
             key = (rect.min_x, rect.min_y, rect.max_x, rect.max_y)
             cached = score_memo.get(key)
             if cached is None:
-                cached = self._score(rect, origin, heading)
+                if self._penetrates_obstacle(rect, obstacles):
+                    cached = -math.inf
+                else:
+                    cached = self._score(rect, origin, heading)
                 score_memo[key] = cached
             return cached
 
@@ -388,10 +415,17 @@ class MWPSRComputer:
                 break
 
         rect = self._choices_rect(origin, choices)
+        if self._penetrates_obstacle(rect, obstacles):
+            # Every reachable combination threads an alarm (subscriber
+            # pinned on an alarm boundary in a degenerate corner of the
+            # cell): fall back to the point region, which forces a
+            # report on the next sample instead of silencing the alarm.
+            rect = Rect(origin.x, origin.y, origin.x, origin.y)
         return rect, self._weighted_perimeter(rect, origin, heading), order
 
     def _select_exhaustive(self, origin: Point, heading: float,
-                           tension_lists: Sequence[List[Tuple[float, float]]]
+                           tension_lists: Sequence[List[Tuple[float, float]]],
+                           obstacles: Sequence[Rect]
                            ) -> Tuple[Rect, float, Tuple[int, ...]]:
         """Quartic-time optimum: every component-rectangle combination."""
         best_score = -math.inf
@@ -402,11 +436,15 @@ class MWPSRComputer:
             left = min(combo[1][0], combo[2][0])
             bottom = min(combo[2][1], combo[3][1])
             rect = self._extents_rect(origin, right, top, left, bottom)
+            if self._penetrates_obstacle(rect, obstacles):
+                continue
             score = self._score(rect, origin, heading)
             if score > best_score:
                 best_score = score
                 best_rect = rect
-        assert best_rect is not None
+        if best_rect is None:
+            # See _select_greedy: all combinations penetrate an alarm.
+            best_rect = Rect(origin.x, origin.y, origin.x, origin.y)
         return (best_rect,
                 self._weighted_perimeter(best_rect, origin, heading),
                 (0, 1, 2, 3))

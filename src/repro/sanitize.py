@@ -30,7 +30,14 @@ mirroring the static concurrency checkers at runtime:
   the transports and the daemon open is noted, every close must match
   an open, and ``check_span_balance`` at transport/daemon close raises
   on any span opened but never closed (the leak class the fault
-  injection suite pins).
+  injection suite pins);
+* **session automaton walk** (PA008's shadow) — every accepted frame
+  advances the connection's session state through
+  :meth:`~Sanitizer.check_session_transition`, which asserts the
+  ``(state, kind, direction)`` step is a declared row of
+  :data:`repro.protocol.spec.SESSION_TRANSITIONS`; a dispatch arm the
+  static checker mis-modelled (or a spec edit that breaks the daemon)
+  fails loudly while serving.
 
 Off by default and free when off: the engines hold the shared
 :data:`DISABLED` singleton and guard every site with one
@@ -272,6 +279,27 @@ class Sanitizer:
                 "span leak: %d span(s) opened but never closed: %s"
                 % (len(self._open_spans), leaked))
 
+    def check_session_transition(self, state: str, kind_name: str,
+                                 direction: str) -> str:
+        """Assert one session step is spec-legal; return the new state.
+
+        The runtime mirror of PA008: the daemon threads its
+        per-connection state through this method as it accepts frames,
+        so a step outside
+        :data:`repro.protocol.spec.SESSION_TRANSITIONS` raises at the
+        moment it happens instead of surfacing as a downstream protocol
+        error.  The disabled singleton returns ``state`` unchanged.
+        """
+        from .protocol.spec import session_next_state
+
+        next_state = session_next_state(state, kind_name, direction)
+        if next_state is None:
+            raise SanitizerError(
+                "session automaton violation: %s frame (%s) is not a "
+                "declared transition in state %s"
+                % (kind_name, direction, state))
+        return next_state
+
     def check_merge(self, parts: Sequence["Metrics"],
                     merged: "Metrics") -> None:
         """Spot-check the metrics merge: fold order must not matter."""
@@ -338,6 +366,10 @@ class _DisabledSanitizer(Sanitizer):
 
     def check_span_balance(self) -> None:
         return
+
+    def check_session_transition(self, state: str, kind_name: str,
+                                 direction: str) -> str:
+        return state
 
     def check_merge(self, parts: Sequence["Metrics"],
                     merged: "Metrics") -> None:

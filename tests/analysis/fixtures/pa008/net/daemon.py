@@ -1,0 +1,28 @@
+"""PA008 fixture daemon: a dispatch chain that drifts from the spec.
+
+Seeded server-side shapes: an unguarded HELLO arm (accepts a duplicate
+handshake), an unguarded REQUEST arm (served pre-handshake), a
+SHUTDOWN arm whose guard contradicts the declared target, a chain with
+no rejecting else, and a STATS downlink send the spec never declares.
+The guarded STATS request arm is the clean counterexample.
+"""
+
+from ..protocol.framing import FrameKind, FramingError, encode_frame
+
+
+def handle_connection(frame, writer, snapshot):
+    greeted = False
+    if frame.kind is FrameKind.HELLO:
+        greeted = True
+        writer.write(encode_frame(FrameKind.REPLY, b"ok"))
+    elif frame.kind is FrameKind.REQUEST:
+        writer.write(encode_frame(FrameKind.REPLY, frame.payload))
+    elif frame.kind is FrameKind.STATS:
+        if not greeted:
+            raise FramingError("STATS before HELLO")
+        writer.write(encode_frame(FrameKind.STATS, snapshot()))
+    elif frame.kind is FrameKind.SHUTDOWN:
+        if greeted:
+            raise FramingError("SHUTDOWN after HELLO")
+        writer.write(encode_frame(FrameKind.ERROR, b"stopping"))
+    return greeted

@@ -1,0 +1,20 @@
+"""PA008 fixture client: downlink arms the spec does not declare.
+
+Seeded client-side shapes: STATS and ERROR arms with no ``s2c`` row
+backing them, while the declared PUSH downlink has no arm at all.  The
+REPLY arm is the clean counterexample.
+"""
+
+from ..protocol.framing import FrameKind, encode_frame
+
+
+def exchange(sock, frame):
+    sock.sendall(encode_frame(FrameKind.HELLO, b"v1"))
+    sock.sendall(encode_frame(FrameKind.REQUEST, b"payload"))
+    if frame.kind is FrameKind.REPLY:
+        return frame.payload
+    if frame.kind is FrameKind.STATS:
+        return frame.payload
+    if frame.kind is FrameKind.ERROR:
+        raise RuntimeError("server error")
+    raise RuntimeError("unexpected frame")

@@ -1,0 +1,21 @@
+"""PA008 fixture framing: the frame-kind vocabulary."""
+
+from enum import IntEnum
+
+
+class FrameKind(IntEnum):
+    HELLO = 1
+    REQUEST = 2
+    REPLY = 3
+    PUSH = 4
+    ERROR = 5
+    STATS = 6
+    SHUTDOWN = 7
+
+
+class FramingError(Exception):
+    pass
+
+
+def encode_frame(kind, payload):
+    return bytes([kind]) + payload

@@ -1,0 +1,21 @@
+"""PA008 fixture spec: a session automaton with seeded drift.
+
+Wrong on purpose: a ``PING`` row no FrameKind member backs and no
+daemon arm accepts, a ``GHOST`` state outside ``SESSION_STATES``, a
+``PUSH`` downlink no client handles, a ``SHUTDOWN`` target the guarded
+arm contradicts, and *missing* rows for the STATS downlink the daemon
+sends and the client handles.
+"""
+
+SESSION_STATES = ("AWAIT_HELLO", "READY", "CLOSING")
+
+SESSION_TRANSITIONS = {
+    ("AWAIT_HELLO", "HELLO", "c2s"): "READY",
+    ("AWAIT_HELLO", "SHUTDOWN", "c2s"): "READY",
+    ("READY", "REQUEST", "c2s"): "READY",
+    ("READY", "STATS", "c2s"): "READY",
+    ("READY", "PING", "c2s"): "READY",
+    ("READY", "REPLY", "s2c"): "READY",
+    ("READY", "PUSH", "s2c"): "READY",
+    ("GHOST", "ERROR", "s2c"): "CLOSING",
+}

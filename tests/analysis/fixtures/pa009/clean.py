@@ -1,0 +1,64 @@
+"""PA009 fixture counterexamples: correct ownership, zero findings.
+
+Every shape in ``leaky.py`` has its fixed twin here — try/finally,
+escape-by-return, handler-absorbed-then-closed, a span-closing helper,
+and a decoder finished on the clean path.
+"""
+
+import socket
+
+from .framing import FrameDecoder
+
+LOCK = None
+TELEMETRY = None
+
+
+def socket_try_finally(payload):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.sendall(payload)
+        return True
+    finally:
+        sock.close()
+
+
+def socket_escapes(address):
+    sock = socket.create_connection(address)
+    return sock
+
+
+def file_absorbed_then_closed(path):
+    handle = open(path)
+    try:
+        data = handle.read()
+    except OSError:
+        data = None
+    handle.close()
+    return data
+
+
+def lock_try_finally(update, value):
+    LOCK.acquire()
+    try:
+        update(value)
+    finally:
+        LOCK.release()
+
+
+def span_closed_by_helper(risky, time_s):
+    TELEMETRY.span_open(time_s, 1, 2, 0, "work")
+    try:
+        risky()
+    finally:
+        _finish_span(time_s, "ok")
+
+
+def _finish_span(time_s, status):
+    TELEMETRY.span_close(time_s, 1, 2, status, 0.0)
+
+
+def decoder_finished(data):
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    decoder.finish()
+    return frames

@@ -1,0 +1,13 @@
+"""PA009 fixture: the decoder the leak shapes acquire."""
+
+
+class FrameDecoder:
+    def __init__(self):
+        self.buffered = 0
+
+    def feed(self, data):
+        return [data]
+
+    def finish(self):
+        if self.buffered:
+            raise ValueError("mid-frame EOF")

@@ -1,0 +1,62 @@
+"""PA009 fixture: every leak shape the checker knows, one per function.
+
+Each function acquires one resource and lets at least one exit path —
+normal or exceptional — escape without releasing it.
+"""
+
+import asyncio
+import socket
+
+from .framing import FrameDecoder
+
+LOCK = None
+TELEMETRY = None
+
+
+def socket_never_closed(payload):
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.sendall(payload)
+    return True
+
+
+def file_early_return(path, skip):
+    handle = open(path)
+    if skip:
+        return None
+    data = handle.read()
+    handle.close()
+    return data
+
+
+def socket_reraise(address, payload):
+    sock = socket.create_connection(address)
+    try:
+        sock.sendall(payload)
+    except OSError:
+        raise
+    sock.close()
+    return True
+
+
+async def task_dropped_on_error(loop, work, flush):
+    task = loop.create_task(work())
+    await flush()
+    task.cancel()
+
+
+def lock_gap(update, value):
+    LOCK.acquire()
+    update(value)
+    LOCK.release()
+
+
+def span_without_guard(risky, time_s):
+    TELEMETRY.span_open(time_s, 1, 2, 0, "work")
+    risky()
+    TELEMETRY.span_close(time_s, 1, 2, "ok", 0.0)
+
+
+def decoder_unfinished(data):
+    decoder = FrameDecoder()
+    frames = decoder.feed(data)
+    return frames

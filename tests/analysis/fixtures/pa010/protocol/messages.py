@@ -1,0 +1,33 @@
+"""PA010 fixture: the downlink message vocabulary."""
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Grant:
+    span: float
+
+
+@dataclass(frozen=True)
+class AlarmNotification:
+    alarm_id: int
+
+
+@dataclass(frozen=True)
+class InstallSafeRegion:
+    rect: tuple
+
+
+@dataclass(frozen=True)
+class InstallAlarmList:
+    alarms: tuple
+
+
+@dataclass(frozen=True)
+class InstallSafePeriod:
+    period_s: float
+
+
+Response = Union[Grant, AlarmNotification, InstallSafeRegion,
+                 InstallAlarmList, InstallSafePeriod]

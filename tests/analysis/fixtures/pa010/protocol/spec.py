@@ -1,0 +1,19 @@
+"""PA010 fixture spec: a causality table with seeded drift.
+
+Wrong on purpose: a ``Bogus`` kind outside the Response union, a
+``ghost`` entry with no strategy module, a ``delta`` entry declaring
+an emission the policy never constructs, and no entry at all for the
+``gamma`` strategy.  The ``alpha`` entry is the clean counterexample.
+"""
+
+BASELINE_DOWNLINKS = ("AlarmNotification",)
+
+STRATEGY_CAUSALITY = {
+    "alpha": {"emits": ("InstallSafeRegion",),
+              "handles": ("InstallSafeRegion",)},
+    "beta": {"emits": ("InstallAlarmList",),
+             "handles": ("InstallAlarmList", "Bogus")},
+    "delta": {"emits": ("InstallSafePeriod",), "handles": ()},
+    "epsilon": {"emits": (), "handles": ("InstallSafeRegion",)},
+    "ghost": {"emits": (), "handles": ()},
+}

@@ -1,0 +1,23 @@
+"""PA010 fixture: a clean strategy — code and table agree.
+
+Also exercises the baseline exemption: the client half recognizes
+``AlarmNotification`` without declaring it.
+"""
+
+from ..protocol.messages import AlarmNotification, InstallSafeRegion
+from .base import ServerPolicy
+
+
+class AlphaPolicy(ServerPolicy):
+    def downlinks_for(self, user, time_s):
+        return [InstallSafeRegion(rect=user.rect)]
+
+
+class AlphaStrategy:
+    server_policy = AlphaPolicy
+
+    def apply(self, message, state):
+        if isinstance(message, InstallSafeRegion):
+            state.region = message.rect
+        elif isinstance(message, AlarmNotification):
+            state.fired.append(message.alarm_id)

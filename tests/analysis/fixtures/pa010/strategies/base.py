@@ -1,0 +1,6 @@
+"""PA010 fixture: the policy base class (carries no strategy)."""
+
+
+class ServerPolicy:
+    def downlinks_for(self, user, time_s):
+        return []

@@ -1,0 +1,24 @@
+"""PA010 fixture: emission drift — undeclared and unhandled kinds.
+
+The policy emits ``InstallSafeRegion`` the table never declares (and
+the client half never handles); the table declares ``Bogus`` handling
+that neither the union nor the client knows.
+"""
+
+from ..protocol.messages import InstallAlarmList, InstallSafeRegion
+from .base import ServerPolicy
+
+
+class BetaPolicy(ServerPolicy):
+    def downlinks_for(self, user, time_s):
+        if user.roaming:
+            return [InstallSafeRegion(rect=user.rect)]
+        return [InstallAlarmList(alarms=user.alarms)]
+
+
+class BetaStrategy:
+    server_policy = BetaPolicy
+
+    def apply(self, message, state):
+        if isinstance(message, InstallAlarmList):
+            state.alarms = message.alarms

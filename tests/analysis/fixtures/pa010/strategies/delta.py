@@ -1,0 +1,22 @@
+"""PA010 fixture: declaration drift and a dead client arm.
+
+The table declares an ``InstallSafePeriod`` emission the policy never
+constructs; the client half isinstance-checks ``Grant``, which nothing
+emits and the table never mentions.
+"""
+
+from ..protocol.messages import Grant
+from .base import ServerPolicy
+
+
+class DeltaPolicy(ServerPolicy):
+    def downlinks_for(self, user, time_s):
+        return []
+
+
+class DeltaStrategy:
+    server_policy = DeltaPolicy
+
+    def apply(self, message, state):
+        if isinstance(message, Grant):
+            state.span = message.span

@@ -1,0 +1,15 @@
+"""PA010 fixture: an inherited policy the table fails to declare.
+
+No policy class of its own — the strategy subclasses alpha's and
+inherits a policy emitting ``InstallSafeRegion``, but its causality
+entry declares no emissions.
+"""
+
+from ..protocol.messages import InstallSafeRegion
+from .alpha import AlphaStrategy
+
+
+class EpsilonStrategy(AlphaStrategy):
+    def apply(self, message, state):
+        if isinstance(message, InstallSafeRegion):
+            state.region = message.rect

@@ -1,0 +1,9 @@
+"""PA010 fixture: a strategy module with no causality entry at all."""
+
+from ..protocol.messages import InstallSafeRegion
+from .base import ServerPolicy
+
+
+class GammaPolicy(ServerPolicy):
+    def downlinks_for(self, user, time_s):
+        return [InstallSafeRegion(rect=user.rect)]

@@ -18,7 +18,8 @@ class TestExitCodes:
 
     @pytest.mark.parametrize("checker_id",
                              ["PA001", "PA002", "PA003", "PA004",
-                              "PA005", "PA006", "PA007"])
+                              "PA005", "PA006", "PA007", "PA008",
+                              "PA009", "PA010"])
     def test_fixture_exits_with_findings(self, checker_id, capsys):
         root = str(FIXTURES / checker_id.lower())
         assert main(["analyze", root, "--rule", checker_id]) == 1
@@ -46,7 +47,8 @@ class TestListRules:
         assert main(["analyze", "--list-rules"]) == 0
         out = capsys.readouterr().out
         for checker_id in ("PA001", "PA002", "PA003", "PA004",
-                           "PA005", "PA006", "PA007"):
+                           "PA005", "PA006", "PA007", "PA008",
+                           "PA009", "PA010"):
             assert checker_id in out
 
 
@@ -70,13 +72,25 @@ class TestFormats:
         rule_ids = [rule["id"]
                     for rule in run["tool"]["driver"]["rules"]]
         assert rule_ids == ["PA001", "PA002", "PA003", "PA004",
-                            "PA005", "PA006", "PA007"]
+                            "PA005", "PA006", "PA007", "PA008",
+                            "PA009", "PA010"]
         assert len(run["results"]) == 10
         first = run["results"][0]
         assert first["ruleId"] == "PA001"
         assert first["level"] == "error"
         location = first["locations"][0]["physicalLocation"]
         assert location["region"]["startLine"] > 0
+
+    def test_sarif_base_uri_makes_links_absolute(self, capsys):
+        assert main(["analyze", FIXTURE, "--rule", "PA001",
+                     "--format", "sarif", "--sarif-base-uri",
+                     "https://example.test/blob/main/"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        driver = payload["runs"][0]["tool"]["driver"]
+        assert driver["informationUri"].startswith(
+            "https://example.test/")
+        assert all(rule["helpUri"].startswith("https://example.test/")
+                   for rule in driver["rules"])
 
     def test_sarif_clean_tree_has_no_results(self, tmp_path, capsys):
         (tmp_path / "empty.py").write_text("X = 1\n", encoding="utf-8")

@@ -1,0 +1,169 @@
+"""Unit tests for the intraprocedural CFG the PA009 checker walks."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import CFG, scoped_walk
+
+
+def _build(source):
+    tree = ast.parse(source)
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return CFG.build(func), func
+
+
+def _stmt_lines(cfg, indices):
+    return [cfg.nodes[i].line for i in indices
+            if cfg.nodes[i].stmt is not None]
+
+
+class TestStraightLine:
+    def test_statements_chain_to_exit(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    a = 1\n"
+            "    b = 2\n"
+            "    return a + b\n")
+        start = cfg.node_of[id(func.body[0])]
+        path = cfg.find_path([start], {cfg.exit}, lambda node: False)
+        assert path is not None
+        assert path[-1] == cfg.exit
+
+    def test_call_statements_grow_exception_edges(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    risky(x)\n"
+            "    return x\n")
+        start = cfg.node_of[id(func.body[0])]
+        assert cfg.nodes[start].exc_succ is not None
+        path = cfg.find_path([start], {cfg.raise_exit},
+                             lambda node: False)
+        assert path is not None
+
+    def test_no_exception_edge_without_calls(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    a = x\n"
+            "    return a\n")
+        start = cfg.node_of[id(func.body[0])]
+        assert cfg.nodes[start].exc_succ is None
+
+
+class TestBranches:
+    def test_both_if_arms_are_reachable(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    if x:\n"
+            "        a = 1\n"
+            "    else:\n"
+            "        a = 2\n"
+            "    return a\n")
+        header = cfg.node_of[id(func.body[0])]
+        lines = _stmt_lines(cfg, cfg.nodes[header].succs)
+        assert sorted(lines) == [3, 5]
+
+    def test_blocked_branch_forces_the_other(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    if x:\n"
+            "        release()\n"
+            "        return 1\n"
+            "    return 2\n")
+        header = cfg.node_of[id(func.body[0])]
+
+        def blocked(node):
+            return node.stmt is not None and "release" in ast.dump(
+                node.stmt)
+
+        path = cfg.find_path(list(cfg.nodes[header].succs),
+                             {cfg.exit}, blocked,
+                             include_exceptions=False)
+        assert path is not None  # the fall-through return still exits
+
+    def test_while_true_has_no_fall_through(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    while True:\n"
+            "        consume(x)\n")
+        header = cfg.node_of[id(func.body[0])]
+        assert _stmt_lines(cfg, cfg.nodes[header].succs) == [3]
+
+
+class TestTryFinally:
+    def test_finally_guards_the_return(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    acquire()\n"
+            "    try:\n"
+            "        return work(x)\n"
+            "    finally:\n"
+            "        release()\n")
+        start = cfg.node_of[id(func.body[0])]
+
+        def blocked(node):
+            return node.stmt is not None and "release" in ast.dump(
+                node.stmt)
+
+        assert cfg.find_path(list(cfg.nodes[start].succs),
+                             {cfg.exit, cfg.raise_exit},
+                             blocked) is None
+
+    def test_handler_entry_reachable_from_body(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    try:\n"
+            "        risky(x)\n"
+            "    except OSError:\n"
+            "        cleanup()\n"
+            "    return x\n")
+        risky = cfg.node_of[id(func.body[0].body[0])]
+        path = cfg.find_path([risky], {cfg.exit}, lambda node: False)
+        assert path is not None
+
+    def test_reraise_in_handler_reaches_raise_exit(self):
+        cfg, func = _build(
+            "def f(x):\n"
+            "    try:\n"
+            "        risky(x)\n"
+            "    except OSError:\n"
+            "        raise\n"
+            "    done(x)\n")
+        risky = cfg.node_of[id(func.body[0].body[0])]
+        path = cfg.find_path([risky], {cfg.raise_exit},
+                             lambda node: False)
+        assert path is not None
+
+
+class TestScopedWalk:
+    def test_skips_nested_function_bodies(self):
+        tree = ast.parse(
+            "def outer():\n"
+            "    a = 1\n"
+            "    def inner():\n"
+            "        hidden = 2\n"
+            "    return a\n")
+        names = {node.id for node in scoped_walk(tree.body[0])
+                 if isinstance(node, ast.Name)}
+        assert "a" in names
+        assert "hidden" not in names
+
+
+@pytest.mark.parametrize("source", [
+    "def f(x):\n    return x\n",
+    "async def f(x):\n    await x\n",
+    "def f(x):\n    for i in x:\n        break\n    else:\n"
+    "        x = 0\n    return x\n",
+    "def f(x):\n    with x:\n        pass\n",
+    "def f(x):\n    try:\n        return 1\n    except ValueError:\n"
+    "        pass\n    finally:\n        x()\n",
+])
+def test_every_shape_builds_and_reaches_exit(source):
+    cfg, func = _build(source)
+    first = func.body[0]
+    # A try statement is a region, not a node — enter at its body.
+    anchor = first.body[0] if isinstance(first, ast.Try) else first
+    start = cfg.node_of[id(anchor)]
+    assert cfg.find_path([start], {cfg.exit, cfg.raise_exit},
+                         lambda node: False) is not None

@@ -14,7 +14,7 @@ from repro.analysis import (ALL_CHECKERS, ProjectModel, get_checker,
 from repro.analysis.checkers.pa004_debt import count_pragmas, find_ledger
 
 CHECKER_IDS = ["PA001", "PA002", "PA003", "PA004", "PA005", "PA006",
-               "PA007"]
+               "PA007", "PA008", "PA009", "PA010"]
 
 #: Expected diagnostic count per fixture tree (one per seeded shape).
 EXPECTED_FIXTURE_COUNTS = {
@@ -25,6 +25,9 @@ EXPECTED_FIXTURE_COUNTS = {
     "PA005": 6,
     "PA006": 5,
     "PA007": 5,
+    "PA008": 11,
+    "PA009": 7,
+    "PA010": 10,
 }
 
 
@@ -229,6 +232,106 @@ class TestPA007:
         lines = {d.line for d in diagnostics}
         assert len(diagnostics) == 5
         assert all(line < 39 for line in lines)  # all in the bad half
+
+
+class TestPA008:
+    def test_names_every_server_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa008"), "PA008")]
+        joined = "\n".join(messages)
+        assert ("accepts HELLO frames in state READY"
+                in joined)                       # duplicate handshake
+        assert ("accepts REQUEST frames in state AWAIT_HELLO"
+                in joined)                       # pre-handshake serve
+        assert ("the SHUTDOWN arm moves state AWAIT_HELLO to "
+                "AWAIT_HELLO but the spec declares") in joined
+        assert "no rejecting else arm" in joined
+        assert ("spec declares (READY, PING, c2s) but no dispatch "
+                "arm") in joined
+
+    def test_names_every_client_and_spec_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa008"), "PA008")]
+        joined = "\n".join(messages)
+        assert ("the client handles STATS frames in state READY"
+                in joined)
+        assert "no client module handles PUSH frames" in joined
+        assert ("sends STATS frames (s2c) but the spec declares no "
+                "s2c transition") in joined
+        assert ("(GHOST, ERROR, s2c) -> CLOSING uses a state outside "
+                "SESSION_STATES") in joined
+        assert "unknown frame kind PING" in joined
+
+    def test_missing_spec_is_one_finding(self, tmp_path):
+        net = tmp_path / "net"
+        net.mkdir()
+        (net / "daemon.py").write_text(
+            "def handle(frame):\n    return frame\n", encoding="utf-8")
+        diagnostics = _run(tmp_path, "PA008")
+        assert len(diagnostics) == 1
+        assert "declares no protocol/spec.py" in diagnostics[0].message
+
+    def test_findings_name_state_and_kind(self, fixture_root):
+        """Every conformance finding names the offending pair."""
+        for diag in _run(fixture_root("pa008"), "PA008"):
+            if "forbidden transition" in diag.message:
+                assert "frames in state" in diag.message
+
+
+class TestPA009:
+    def test_names_every_leak_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa009"), "PA009")]
+        joined = "\n".join(messages)
+        assert "socket 'sock' acquired in socket_never_closed" in joined
+        assert ("file 'handle' acquired in file_early_return can "
+                "reach a normal exit") in joined
+        assert ("socket 'sock' acquired in socket_reraise can reach "
+                "an uncaught-exception exit") in joined
+        assert "task 'task' acquired in task_dropped_on_error" in joined
+        assert "lock acquired in lock_gap" in joined
+        assert "span acquired in span_without_guard" in joined
+        assert ("decoder 'decoder' acquired in decoder_unfinished can "
+                "reach a normal exit without a finish call") in joined
+
+    def test_counterexamples_stay_clean(self, fixture_root):
+        """try/finally, escape, helper-close and finish() all credit."""
+        diagnostics = _run(fixture_root("pa009"), "PA009")
+        assert all(d.path.endswith("leaky.py") for d in diagnostics)
+
+    def test_findings_carry_the_leaking_line(self, fixture_root):
+        for diag in _run(fixture_root("pa009"), "PA009"):
+            assert "via line" in diag.message
+
+
+class TestPA010:
+    def test_names_every_causality_shape(self, fixture_root):
+        messages = [d.message
+                    for d in _run(fixture_root("pa010"), "PA010")]
+        joined = "\n".join(messages)
+        assert ("strategy 'beta' emits InstallSafeRegion but its "
+                "causality entry does not declare it") in joined
+        assert ("server half emits InstallSafeRegion but its client "
+                "half never handles it") in joined
+        assert ("declares handles Bogus but the client half never "
+                "isinstance-checks it") in joined
+        assert ("declares emits InstallSafePeriod but the server "
+                "policy never constructs it") in joined
+        assert "handles Grant but its causality entry" in joined
+        assert "dead client arm" in joined
+        assert ("inherits a policy emitting InstallSafeRegion"
+                in joined)
+        assert ("strategy 'gamma' has no STRATEGY_CAUSALITY entry"
+                in joined)
+        assert "stale entry" in joined
+        assert "not a Response union member" in joined
+
+    def test_clean_strategy_and_baseline_are_silent(self, fixture_root):
+        """alpha agrees with its entry; AlarmNotification is exempt."""
+        messages = [d.message
+                    for d in _run(fixture_root("pa010"), "PA010")]
+        assert not any("'alpha'" in m for m in messages)
+        assert not any("AlarmNotification" in m for m in messages)
 
 
 class TestSuppression:

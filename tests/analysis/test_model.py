@@ -1,0 +1,142 @@
+"""ProjectModel construction tests: import resolution and --jobs.
+
+The checkers lean on two model behaviors that are easy to silently
+break: one-hop resolution of *relative* imports (PA010 follows
+``from .alpha import AlphaStrategy`` to the defining strategy module)
+and the guarantee that a ``--jobs`` parallel parse produces a model
+indistinguishable from a serial one.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.model import PARALLEL_THRESHOLD, ProjectModel
+
+
+def _write_tree(root, files):
+    for rel_path, source in files.items():
+        path = root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+
+
+class TestRelativeImportResolution:
+    def test_single_dot_resolves_to_sibling(self, tmp_path):
+        _write_tree(tmp_path, {
+            "pkg/alpha.py": "X = 1\n",
+            "pkg/beta.py": "from .alpha import X\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        beta = model.find("pkg/beta.py")
+        assert beta is not None
+        assert beta.imports["X"] == ("pkg.alpha", "X")
+        assert model.module_by_name("pkg.alpha") is not None
+
+    def test_double_dot_resolves_to_parent_package(self, tmp_path):
+        _write_tree(tmp_path, {
+            "pkg/config.py": "LIMIT = 5\n",
+            "pkg/sub/worker.py": "from ..config import LIMIT\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        worker = model.find("pkg/sub/worker.py")
+        assert worker is not None
+        assert worker.imports["LIMIT"] == ("pkg.config", "LIMIT")
+        resolved = model.module_by_name("pkg.config")
+        assert resolved is not None
+        assert resolved.rel_path == "pkg/config.py"
+
+    def test_aliased_import_keeps_both_names(self, tmp_path):
+        _write_tree(tmp_path, {
+            "pkg/mod.py": "VALUE = 3\n",
+            "pkg/use.py": "from .mod import VALUE as V\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        use = model.find("pkg/use.py")
+        assert use is not None
+        assert use.imports["V"] == ("pkg.mod", "VALUE")
+        assert "VALUE" not in use.imports
+
+    def test_relative_module_import(self, tmp_path):
+        """``from ..pkg import mod`` binds the *module* name."""
+        _write_tree(tmp_path, {
+            "pkg/mod.py": "VALUE = 3\n",
+            "other/use.py": "from ..pkg import mod\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        use = model.find("other/use.py")
+        assert use is not None
+        assert use.imports["mod"] == ("pkg", "mod")
+
+    def test_escape_above_the_root_is_ignored(self, tmp_path):
+        _write_tree(tmp_path, {
+            "use.py": "from ...outside import thing\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        use = model.find("use.py")
+        assert use is not None
+        assert use.imports == {}
+
+    def test_constant_resolves_through_the_import(self, tmp_path):
+        """The one-hop lookup the checkers actually perform."""
+        _write_tree(tmp_path, {
+            "pkg/config.py": 'NAME = "daemon"\n',
+            "pkg/use.py": "from .config import NAME\n",
+        })
+        model = ProjectModel.build(tmp_path)
+        use = model.find("pkg/use.py")
+        assert model.resolve_constant(use, "NAME") == "daemon"
+
+
+class TestParallelParse:
+    @pytest.fixture()
+    def big_tree(self, tmp_path):
+        # One module over the threshold, so --jobs actually forks.
+        files = {
+            "pkg/mod_%03d.py" % index:
+                "VALUE_%03d = %d\n\n\ndef probe_%03d(x):\n"
+                "    return x + %d\n" % (index, index, index, index)
+            for index in range(PARALLEL_THRESHOLD + 1)
+        }
+        files["pkg/bad.py"] = "import time\n\n\nasync def nap():\n" \
+                              "    time.sleep(1)\n"
+        _write_tree(tmp_path, files)
+        return tmp_path
+
+    def test_small_trees_stay_serial(self, tmp_path, monkeypatch):
+        _write_tree(tmp_path, {"mod.py": "X = 1\n"})
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("pool must not spin up")
+
+        import concurrent.futures
+        monkeypatch.setattr(concurrent.futures,
+                            "ProcessPoolExecutor", boom)
+        model = ProjectModel.build(tmp_path, jobs=8)
+        assert len(model.modules) == 1
+
+    def test_parallel_model_matches_serial(self, big_tree):
+        serial = ProjectModel.build(big_tree)
+        parallel = ProjectModel.build(big_tree, jobs=2)
+        assert list(serial.modules) == list(parallel.modules)
+        for rel_path, module in serial.modules.items():
+            twin = parallel.modules[rel_path]
+            assert module.name == twin.name
+            assert module.source == twin.source
+            assert sorted(module.all_functions) \
+                == sorted(twin.all_functions)
+            assert module.imports == twin.imports
+
+    def test_parallel_findings_match_serial(self, big_tree):
+        serial = run_analysis(root=big_tree)
+        parallel = run_analysis(root=big_tree, jobs=2)
+        assert serial.to_json() == parallel.to_json()
+        assert not serial.ok  # the seeded PA005 sleep is found
+
+
+def test_unparsable_file_fails_loudly(tmp_path):
+    from repro.analysis.model import AnalysisError
+    _write_tree(tmp_path, {"broken.py": "def oops(:\n"})
+    with pytest.raises(AnalysisError):
+        ProjectModel.build(tmp_path)

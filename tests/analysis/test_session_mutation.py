@@ -1,0 +1,114 @@
+"""Mutation tests: PA008 catches real damage to the shipped daemon.
+
+Fixture trees prove the checker fires on *synthetic* drift; these
+tests prove it guards the *real* socket layer.  Each test copies the
+shipped ``net/daemon.py``/``net/sockets.py``/``net/stats.py`` and
+``protocol/spec.py``/``protocol/framing.py`` into a temporary tree,
+verifies the copy is clean, then applies one surgical mutation — the
+kind a refactor could plausibly introduce — and asserts PA008 reports
+it by (state, kind).
+"""
+
+import shutil
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import get_checker, run_analysis
+from repro.analysis.runner import package_root
+
+_COPIED = (
+    "net/daemon.py",
+    "net/sockets.py",
+    "net/stats.py",
+    "protocol/spec.py",
+    "protocol/framing.py",
+)
+
+
+@pytest.fixture()
+def shipped_tree(tmp_path):
+    source_root = package_root()
+    for rel_path in _COPIED:
+        target = tmp_path / rel_path
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copyfile(source_root / rel_path, target)
+    return tmp_path
+
+
+def _pa008(root):
+    report = run_analysis(root=root,
+                          checker_classes=[get_checker("PA008")])
+    return report
+
+
+def _mutate(root, rel_path, old, new):
+    path = root / rel_path
+    source = path.read_text(encoding="utf-8")
+    assert old in source, "mutation anchor vanished: %r" % old
+    path.write_text(source.replace(old, new), encoding="utf-8")
+
+
+def test_shipped_copy_is_clean(shipped_tree):
+    report = _pa008(shipped_tree)
+    assert report.ok, "\n" + report.render_text()
+
+
+def test_deleting_the_duplicate_hello_guard_is_caught(shipped_tree):
+    _mutate(shipped_tree, "net/daemon.py",
+            "if greeted:\n"
+            "                            raise FramingError(\n"
+            "                                \"duplicate HELLO "
+            "handshake\")\n"
+            "                        decode_hello",
+            "decode_hello")
+    report = _pa008(shipped_tree)
+    messages = [d.message for d in report.diagnostics]
+    assert any("accepts HELLO frames in state READY" in m
+               and "(READY, HELLO, c2s)" in m for m in messages), \
+        "\n".join(messages)
+
+
+def test_deleting_the_request_handshake_guard_is_caught(shipped_tree):
+    _mutate(shipped_tree, "net/daemon.py",
+            "if not greeted:\n"
+            "                            raise FramingError(\n"
+            "                                \"REQUEST before the "
+            "HELLO handshake\")\n"
+            "                        if self._sanitizer.enabled:",
+            "if self._sanitizer.enabled:")
+    report = _pa008(shipped_tree)
+    messages = [d.message for d in report.diagnostics]
+    assert any("accepts REQUEST frames in state AWAIT_HELLO" in m
+               for m in messages), "\n".join(messages)
+
+
+def test_deleting_a_spec_row_is_caught(shipped_tree):
+    _mutate(shipped_tree, "protocol/spec.py",
+            '    ("READY", "STATS", "c2s"): "READY",\n', "")
+    report = _pa008(shipped_tree)
+    messages = [d.message for d in report.diagnostics]
+    assert any("accepts STATS frames in state READY" in m
+               and "(READY, STATS, c2s)" in m for m in messages), \
+        "\n".join(messages)
+
+
+def test_deleting_a_dispatch_arm_is_caught(shipped_tree):
+    source = (shipped_tree / "net/daemon.py").read_text(
+        encoding="utf-8")
+    start = source.index("elif frame.kind is FrameKind.STATS:")
+    end = source.index("elif frame.kind is FrameKind.SHUTDOWN:")
+    (shipped_tree / "net/daemon.py").write_text(
+        source[:start] + source[end:], encoding="utf-8")
+    report = _pa008(shipped_tree)
+    messages = [d.message for d in report.diagnostics]
+    assert any("spec declares (READY, STATS, c2s) but no dispatch arm"
+               in m for m in messages), "\n".join(messages)
+
+
+def test_mutations_exit_nonzero_through_the_cli(shipped_tree):
+    """The CI gate: a conformance finding fails the analyze command."""
+    from repro.analysis.cli import main
+    _mutate(shipped_tree, "protocol/spec.py",
+            '    ("READY", "STATS", "c2s"): "READY",\n', "")
+    assert main([str(shipped_tree), "--rule", "PA008"]) == 1

@@ -8,6 +8,13 @@ the default ``make_world()``.  Every strategy's deterministic counters —
 messages, bytes, evaluations, computations, probes, index accesses,
 triggers — must match it exactly, on the serial engine and on the
 two-shard parallel engine.
+
+The ``rectangular`` and ``adaptive`` rows were re-captured once, after
+the MWPSR boundary-sliver fix (zero-width safe regions threading an
+alarm's interior are no longer selectable): rejecting the slivers both
+closes the missed-trigger hole and shrinks the counters — a sliver
+region is exited on the very next sample, so the old selection forced
+extra report/compute cycles (95 → 61 uplinks on this world).
 """
 
 import functools

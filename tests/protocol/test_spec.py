@@ -1,0 +1,96 @@
+"""Tests for the declared session/causality spec tables."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+from repro.protocol import spec
+from repro.protocol.framing import FrameKind
+from repro.protocol.messages import Response
+from typing import get_args
+
+
+class TestTableShape:
+    def test_states_are_ordered_semantically(self):
+        assert spec.SESSION_STATES == ("AWAIT_HELLO", "READY",
+                                       "CLOSING")
+        assert spec.STATE_AWAIT_HELLO == spec.SESSION_STATES[0]
+        assert spec.STATE_READY == spec.SESSION_STATES[1]
+        assert spec.STATE_CLOSING == spec.SESSION_STATES[2]
+
+    def test_every_row_stays_in_vocabulary(self):
+        kinds = {member.name for member in FrameKind}
+        for (state, kind, direction), target in \
+                spec.SESSION_TRANSITIONS.items():
+            assert state in spec.SESSION_STATES
+            assert target in spec.SESSION_STATES
+            assert direction in (spec.DIR_CLIENT_TO_SERVER,
+                                 spec.DIR_SERVER_TO_CLIENT)
+            assert kind in kinds
+
+    def test_closing_is_terminal(self):
+        assert not any(state == spec.STATE_CLOSING
+                       for state, _, _ in spec.SESSION_TRANSITIONS)
+
+    def test_error_is_the_only_teardown(self):
+        teardown = {kind for (_, kind, _), target in
+                    spec.SESSION_TRANSITIONS.items()
+                    if target == spec.STATE_CLOSING}
+        assert teardown == {"ERROR"}
+
+    def test_causality_names_are_response_members(self):
+        members = {cls.__name__ for cls in get_args(Response)}
+        for entry in spec.STRATEGY_CAUSALITY.values():
+            assert set(entry) == {"emits", "handles"}
+            for kind in entry["emits"] + entry["handles"]:
+                assert kind in members
+        for kind in spec.BASELINE_DOWNLINKS:
+            assert kind in members
+
+
+class TestLiteralness:
+    """The analyzers re-read the tables with ``ast.literal_eval`` from
+    source — a refactor computing them would silently blind PA008 and
+    PA010."""
+
+    @pytest.mark.parametrize("name", ["SESSION_STATES",
+                                      "SESSION_TRANSITIONS",
+                                      "BASELINE_DOWNLINKS",
+                                      "STRATEGY_CAUSALITY"])
+    def test_table_is_a_literal(self, name):
+        source = Path(spec.__file__).read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        for stmt in tree.body:
+            targets = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) \
+                    and stmt.value is not None:
+                targets = [stmt.target]
+            if any(isinstance(t, ast.Name) and t.id == name
+                   for t in targets):
+                value = (stmt.value if isinstance(stmt, ast.Assign)
+                         else stmt.value)
+                assert ast.literal_eval(value) == getattr(spec, name)
+                return
+        pytest.fail("table %s not assigned at module level" % name)
+
+
+class TestHelpers:
+    def test_next_state_on_declared_row(self):
+        assert spec.session_next_state(
+            spec.STATE_AWAIT_HELLO, "HELLO",
+            spec.DIR_CLIENT_TO_SERVER) == spec.STATE_READY
+
+    def test_next_state_on_forbidden_row(self):
+        assert spec.session_next_state(
+            spec.STATE_READY, "HELLO",
+            spec.DIR_CLIENT_TO_SERVER) is None
+
+    def test_allowed_kinds_sorted(self):
+        kinds = spec.allowed_kinds(spec.STATE_READY,
+                                   spec.DIR_CLIENT_TO_SERVER)
+        assert kinds == tuple(sorted(kinds))
+        assert "REQUEST" in kinds
+        assert "HELLO" not in kinds

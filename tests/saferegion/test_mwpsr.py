@@ -48,6 +48,12 @@ def assert_valid_safe_region(result, position, obstacles, cell=CELL):
         assert cell.contains_rect(rect), "safe region must stay in the cell"
         assert region_is_safe(rect, obstacles), \
             "safe region interior must avoid every obstacle interior"
+        # The stronger point-set form: interior-disjointness is vacuous
+        # for a degenerate rect, but the client suppresses reporting
+        # for every point the closed rect contains, so no point of the
+        # rect may lie strictly inside an obstacle.
+        assert not MWPSRComputer._penetrates_obstacle(rect, obstacles), \
+            "safe region must not thread an obstacle's interior"
 
 
 class TestBasicCases:
@@ -187,6 +193,40 @@ class TestSelectionQuality:
             MWPSRComputer(refine_rounds=-1)
         with pytest.raises(ValueError):
             MWPSRComputer(area_weight=-0.5)
+
+
+class TestSubscriberOnObstacleBoundary:
+    """The subscriber pinned exactly on an alarm's edge.
+
+    Regression: the skyline admits zero-width component rectangles at
+    the quadrant axis, and a sliver threading the alarm's interior has
+    an *empty* interior — interior-disjointness held vacuously while
+    the region silenced the alarm for a client wandering inside it.
+    """
+
+    OBSTACLE = Rect(0.0, 0.0, 5.0, 5.0)
+
+    @pytest.mark.parametrize("position", [
+        Point(1, 0), Point(3, 0),      # bottom edge, x inside the span
+        Point(0, 1), Point(0, 3),      # left edge, y inside the span
+        Point(5, 3), Point(3, 5),      # right / top edges
+        Point(0, 0), Point(5, 5),      # corners
+    ], ids=str)
+    @pytest.mark.parametrize("computer", [
+        MWPSRComputer(),
+        MWPSRComputer(auto_threshold=0),   # force the greedy
+        MWPSRComputer(exhaustive=True),
+    ], ids=["auto", "greedy", "exhaustive"])
+    def test_region_never_threads_the_alarm(self, computer, position):
+        result = computer.compute(position, 0.0, CELL, [self.OBSTACLE])
+        assert not result.inside_alarm
+        assert_valid_safe_region(result, position, [self.OBSTACLE])
+
+    def test_boundary_region_is_an_edge_sliver_not_a_point(self):
+        """The fallback keeps the safe room along the alarm's edge."""
+        result = MWPSRComputer().compute(Point(1, 0), 0.0, CELL,
+                                         [self.OBSTACLE])
+        assert result.rect == Rect(0, 0, 1000, 0.0)
 
 
 @settings(max_examples=120, deadline=None)

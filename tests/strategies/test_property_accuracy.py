@@ -102,3 +102,27 @@ def test_property_every_strategy_upholds_the_contract(trace, alarms,
         assert result.accuracy.perfect, (
             "%s violated the contract: %r (alarms=%r)"
             % (strategy.name, result.accuracy, alarms))
+
+
+def test_start_on_alarm_boundary_then_enter():
+    """Hypothesis-found regression, pinned deterministically.
+
+    A subscriber starting exactly on an alarm's edge then stepping
+    inside: MWPSR's skyline handed out a zero-width sliver threading
+    the alarm's interior — interiors never overlapped, so the safety
+    invariant held vacuously while the client sat "contained" inside
+    the alarm and the trigger was never delivered.
+    """
+    samples = [TraceSample(0.0, Point(1.0, 0.0), math.pi / 2.0, SPEED),
+               TraceSample(1.0, Point(1.0, 1.0), 0.0, SPEED),
+               TraceSample(2.0, Point(0.0, 0.0), 0.0, SPEED),
+               TraceSample(3.0, Point(0.0, 0.0), 0.0, SPEED),
+               TraceSample(4.0, Point(0.0, 0.0), 0.0, SPEED)]
+    trace = Trace(0, samples)
+    alarms = [Rect(0.0, 0.0, 5.0, 5.0)]
+    world = build_world(trace, alarms, 0.25)
+    for strategy in strategies():
+        result = run_simulation(world, strategy)
+        assert result.accuracy.perfect, (
+            "%s violated the contract: %r"
+            % (strategy.name, result.accuracy))
